@@ -1,0 +1,181 @@
+package cool
+
+// This file provides the object allocation and distribution constructs of
+// the paper: placed allocation (the COOL "new" operator with a processor
+// argument), migrate(), and home().
+
+// F64 is an array of float64 living in simulated shared memory. Data
+// holds the real values; Base is the simulated address of element 0.
+type F64 struct {
+	Base int64
+	Data []float64
+}
+
+// Addr returns the simulated address of element i.
+func (a *F64) Addr(i int) int64 { return a.Base + int64(i)*8 }
+
+// Len returns the number of elements.
+func (a *F64) Len() int { return len(a.Data) }
+
+// Slice returns a view of elements [lo, hi) sharing the same storage and
+// address range.
+func (a *F64) Slice(lo, hi int) *F64 {
+	return &F64{Base: a.Base + int64(lo)*8, Data: a.Data[lo:hi]}
+}
+
+// I64 is an array of int64 in simulated shared memory.
+type I64 struct {
+	Base int64
+	Data []int64
+}
+
+// Addr returns the simulated address of element i.
+func (a *I64) Addr(i int) int64 { return a.Base + int64(i)*8 }
+
+// Len returns the number of elements.
+func (a *I64) Len() int { return len(a.Data) }
+
+// Slice returns a view of elements [lo, hi) sharing the same storage.
+func (a *I64) Slice(lo, hi int) *I64 {
+	return &I64{Base: a.Base + int64(lo)*8, Data: a.Data[lo:hi]}
+}
+
+// Obj is a handle to an untyped simulated object; applications model its
+// fields as byte offsets and keep the real state in Go values.
+type Obj struct {
+	Base int64
+	Size int64
+}
+
+// procMod maps a COOL "processor number" argument onto a server, modulo
+// the number of processors (the paper's convention).
+func (rt *Runtime) procMod(proc int) int {
+	p := proc % rt.cfg.Processors
+	if p < 0 {
+		p += rt.cfg.Processors
+	}
+	return p
+}
+
+// NewF64 allocates an n-element array homed in the local memory of
+// processor proc (modulo the number of processors), like COOL's
+// new(proc).
+func (rt *Runtime) NewF64(n int, proc int) *F64 {
+	return &F64{Base: rt.space.Alloc(int64(n)*8, rt.procMod(proc)), Data: make([]float64, n)}
+}
+
+// NewF64Pages allocates a page-aligned array so parts of it can be
+// migrated independently.
+func (rt *Runtime) NewF64Pages(n int, proc int) *F64 {
+	return &F64{Base: rt.space.AllocPages(int64(n)*8, rt.procMod(proc)), Data: make([]float64, n)}
+}
+
+// NewI64 allocates an n-element int64 array homed at processor proc.
+func (rt *Runtime) NewI64(n int, proc int) *I64 {
+	return &I64{Base: rt.space.Alloc(int64(n)*8, rt.procMod(proc)), Data: make([]int64, n)}
+}
+
+// NewI64Pages allocates a page-aligned int64 array (independently
+// migratable).
+func (rt *Runtime) NewI64Pages(n int, proc int) *I64 {
+	return &I64{Base: rt.space.AllocPages(int64(n)*8, rt.procMod(proc)), Data: make([]int64, n)}
+}
+
+// NewObj allocates a size-byte object homed at processor proc.
+func (rt *Runtime) NewObj(size int64, proc int) Obj {
+	return Obj{Base: rt.space.Alloc(size, rt.procMod(proc)), Size: size}
+}
+
+// NewObjPages allocates a page-aligned object (independently migratable).
+func (rt *Runtime) NewObjPages(size int64, proc int) Obj {
+	return Obj{Base: rt.space.AllocPages(size, rt.procMod(proc)), Size: size}
+}
+
+// Migrate re-homes the pages spanned by [addr, addr+size) to processor
+// proc's local memory without charging simulated time (setup use; inside
+// a task prefer Ctx.Migrate).
+func (rt *Runtime) Migrate(addr, size int64, proc int) {
+	rt.space.Migrate(addr, size, rt.procMod(proc))
+}
+
+// Home returns the server that the runtime treats as the home processor
+// of the object at addr (COOL's home()).
+func (rt *Runtime) Home(addr int64) int { return rt.sched.HomeServer(addr) }
+
+// NewF64 allocates from the local memory of the requesting processor,
+// the COOL default for new.
+func (c *Ctx) NewF64(n int) *F64 {
+	return &F64{Base: c.rt.space.Alloc(int64(n)*8, c.ProcID()), Data: make([]float64, n)}
+}
+
+// NewF64On allocates homed at an explicit processor, like new(proc).
+func (c *Ctx) NewF64On(n int, proc int) *F64 { return c.rt.NewF64(n, proc) }
+
+// NewI64 allocates from the local memory of the requesting processor.
+func (c *Ctx) NewI64(n int) *I64 {
+	return &I64{Base: c.rt.space.Alloc(int64(n)*8, c.ProcID()), Data: make([]int64, n)}
+}
+
+// NewObj allocates an object in the requesting processor's local memory.
+func (c *Ctx) NewObj(size int64) Obj {
+	return Obj{Base: c.rt.space.Alloc(size, c.ProcID()), Size: size}
+}
+
+// Migrate moves the object at [addr, addr+size) to processor proc's
+// local memory, charging the page-migration cost (DASH migrates whole
+// pages; see the paper's footnote 2).
+func (c *Ctx) Migrate(addr, size int64, proc int) {
+	pages := c.rt.space.Migrate(addr, size, c.rt.procMod(proc))
+	c.sc.Charge(int64(pages) * c.rt.cfg.Lat.MigratePage)
+}
+
+// Home returns the home processor of the object at addr (COOL's home()).
+func (c *Ctx) Home(addr int64) int { return c.rt.sched.HomeServer(addr) }
+
+// ReadF64 reads element i of a through the simulated memory hierarchy.
+func (c *Ctx) ReadF64(a *F64, i int) float64 {
+	c.Access(a.Addr(i), 8, false)
+	return a.Data[i]
+}
+
+// WriteF64 writes element i of a through the simulated memory hierarchy.
+func (c *Ctx) WriteF64(a *F64, i int, v float64) {
+	c.Access(a.Addr(i), 8, true)
+	a.Data[i] = v
+}
+
+// ReadF64Range charges a read of elements [lo, hi) (line-granular) and
+// returns the underlying values. Use for streaming loops where per-element
+// calls would dominate host time.
+func (c *Ctx) ReadF64Range(a *F64, lo, hi int) []float64 {
+	if hi > lo {
+		c.Access(a.Addr(lo), int64(hi-lo)*8, false)
+	}
+	return a.Data[lo:hi]
+}
+
+// WriteF64Range charges a write of elements [lo, hi) and returns the
+// underlying slice for the caller to fill.
+func (c *Ctx) WriteF64Range(a *F64, lo, hi int) []float64 {
+	if hi > lo {
+		c.Access(a.Addr(lo), int64(hi-lo)*8, true)
+	}
+	return a.Data[lo:hi]
+}
+
+// ReadI64 reads element i of a through the simulated memory hierarchy.
+func (c *Ctx) ReadI64(a *I64, i int) int64 {
+	c.Access(a.Addr(i), 8, false)
+	return a.Data[i]
+}
+
+// WriteI64 writes element i of a through the simulated memory hierarchy.
+func (c *Ctx) WriteI64(a *I64, i int, v int64) {
+	c.Access(a.Addr(i), 8, true)
+	a.Data[i] = v
+}
+
+// Touch charges an access to bytes [off, off+size) of object o.
+func (c *Ctx) Touch(o Obj, off, size int64, write bool) {
+	c.Access(o.Base+off, size, write)
+}

@@ -1,0 +1,221 @@
+package cool_test
+
+import (
+	"testing"
+
+	cool "github.com/coolrts/cool"
+)
+
+func TestSliceSharesStorageAndAddresses(t *testing.T) {
+	rt := newRT(t, 4)
+	arr := rt.NewF64(100, 0)
+	s := arr.Slice(10, 20)
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Addr(0) != arr.Addr(10) || s.Addr(9) != arr.Addr(19) {
+		t.Fatal("slice addresses do not line up with the parent")
+	}
+	s.Data[0] = 42
+	if arr.Data[10] != 42 {
+		t.Fatal("slice does not share storage")
+	}
+	i := rt.NewI64(50, 1)
+	is := i.Slice(5, 10)
+	if is.Addr(0) != i.Addr(5) || is.Len() != 5 {
+		t.Fatal("I64 slice wrong")
+	}
+}
+
+func TestProcModWrapsNegativeAndLarge(t *testing.T) {
+	rt := newRT(t, 8)
+	a := rt.NewF64Pages(1024, -3) // -3 mod 8 = 5
+	if got := rt.Home(a.Base); got != 5 {
+		t.Fatalf("negative proc homed at %d, want 5", got)
+	}
+	b := rt.NewF64Pages(1024, 19) // 19 mod 8 = 3
+	if got := rt.Home(b.Base); got != 3 {
+		t.Fatalf("large proc homed at %d, want 3", got)
+	}
+}
+
+func TestCtxAllocators(t *testing.T) {
+	rt := newRT(t, 8)
+	err := rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			ctx.Spawn("allocator", func(c *cool.Ctx) {
+				// Default allocation is local to the requesting
+				// processor's cluster.
+				f := c.NewF64(64)
+				if cl := rt.MachineConfig().ClusterOf(rt.Home(f.Base)); cl != c.Cluster() {
+					t.Errorf("local alloc homed in cluster %d, proc in %d", cl, c.Cluster())
+				}
+				i := c.NewI64(64)
+				c.WriteI64(i, 3, 7)
+				if c.ReadI64(i, 3) != 7 {
+					t.Error("I64 readback failed")
+				}
+				o := c.NewObj(256)
+				c.Touch(o, 0, 256, true)
+				g := c.NewF64On(64, 0)
+				if rt.Home(g.Base) != 0 {
+					t.Error("NewF64On ignored the processor")
+				}
+			}, cool.OnProcessor(5))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjAllocation(t *testing.T) {
+	rt := newRT(t, 8)
+	o := rt.NewObj(512, 4)
+	if o.Size != 512 {
+		t.Fatalf("size %d", o.Size)
+	}
+	if got := rt.Home(o.Base); got != 4 {
+		t.Fatalf("obj homed at %d", got)
+	}
+	p := rt.NewObjPages(100, 2)
+	if p.Base%4096 != 0 {
+		t.Fatal("NewObjPages not page aligned")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	rt := newRT(t, 4)
+	if err := rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			for i := 0; i < 8; i++ {
+				ctx.Spawn("w", func(c *cool.Ctx) { c.Compute(10000) })
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r := rt.Report()
+	if u := r.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization %v out of (0,1]", u)
+	}
+	if r.BusyCycles <= 0 {
+		t.Fatal("no busy cycles")
+	}
+}
+
+func TestCounterDerivedStats(t *testing.T) {
+	c := cool.Counters{}
+	if c.MissRate() != 0 || c.LocalFraction() != 1 || c.HomeFraction() != 1 {
+		t.Fatal("zero-counter derived stats wrong")
+	}
+	c = cool.Counters{Refs: 100, L1Hits: 90, LocalMisses: 5, RemoteMisses: 5, TasksRun: 10, TasksAtHome: 7}
+	if c.Misses() != 10 || c.MissRate() != 0.1 {
+		t.Fatalf("misses %d rate %v", c.Misses(), c.MissRate())
+	}
+	if c.LocalFraction() != 0.5 || c.HomeFraction() != 0.7 {
+		t.Fatalf("fractions %v %v", c.LocalFraction(), c.HomeFraction())
+	}
+}
+
+func TestMachineConfigIsACopy(t *testing.T) {
+	rt := newRT(t, 8)
+	mc := rt.MachineConfig()
+	mc.Processors = 999
+	if rt.Processors() != 8 || rt.MachineConfig().Processors != 8 {
+		t.Fatal("MachineConfig leaked internal state")
+	}
+	if rt.Clusters() != 2 {
+		t.Fatalf("clusters = %d", rt.Clusters())
+	}
+}
+
+func TestDynamicClusterStealingFlag(t *testing.T) {
+	// Flip cluster-only stealing on mid-run (the §6.3 runtime flag):
+	// tasks pinned to processor 0 afterwards must stay in cluster 0.
+	rt := newRT(t, 8)
+	var phase2procs []int
+	err := rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			for i := 0; i < 8; i++ {
+				ctx.Spawn("warm", func(c *cool.Ctx) { c.Compute(5000) }, cool.OnProcessor(0))
+			}
+		})
+		ctx.SetClusterStealingOnly(true)
+		ctx.WaitFor(func() {
+			for i := 0; i < 16; i++ {
+				ctx.Spawn("pin", func(c *cool.Ctx) {
+					phase2procs = append(phase2procs, c.ProcID())
+					c.Compute(20000)
+				}, cool.OnProcessor(0))
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range phase2procs {
+		if p >= 4 {
+			t.Fatalf("task leaked to processor %d after enabling cluster-only stealing", p)
+		}
+	}
+}
+
+func TestLeastLoadedSetPlacement(t *testing.T) {
+	rt, err := cool.NewRuntime(cool.Config{
+		Processors: 4,
+		Sched:      cool.SchedPolicy{PlaceSetsLeastLoaded: true, NoStealing: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]*cool.F64, 4)
+	for i := range objs {
+		objs[i] = rt.NewF64Pages(64, 0)
+	}
+	procs := map[int]bool{}
+	err = rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			for s := 0; s < 4; s++ {
+				obj := objs[s]
+				for k := 0; k < 3; k++ {
+					ctx.Spawn("set", func(c *cool.Ctx) {
+						procs[c.ProcID()] = true
+						c.Compute(8000)
+					}, cool.TaskAffinity(obj.Base))
+				}
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four sets across four processors: least-loaded placement must use
+	// every processor even without stealing.
+	if len(procs) != 4 {
+		t.Fatalf("least-loaded placement used %d processors, want 4", len(procs))
+	}
+}
+
+func TestRecursiveLockIsAnError(t *testing.T) {
+	rt := newRT(t, 2)
+	mon := rt.NewMonitor(0)
+	err := rt.Run(func(ctx *cool.Ctx) {
+		ctx.Lock(mon)
+		ctx.Lock(mon) // must panic -> engine converts to error
+	})
+	if err == nil {
+		t.Fatal("recursive lock not reported")
+	}
+}
+
+func TestUnlockWithoutOwnershipIsAnError(t *testing.T) {
+	rt := newRT(t, 2)
+	mon := rt.NewMonitor(0)
+	err := rt.Run(func(ctx *cool.Ctx) {
+		ctx.Unlock(mon)
+	})
+	if err == nil {
+		t.Fatal("foreign unlock not reported")
+	}
+}

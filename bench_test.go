@@ -1,0 +1,251 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets (one per figure, sub-benchmarks per program variant and
+// processor count), plus ablation benchmarks for the design choices
+// called out in DESIGN.md. Simulated metrics are attached via
+// b.ReportMetric: "simcycles" is the parallel execution time in simulated
+// cycles and "speedup" is the ratio against the app's serial reference.
+//
+// The cmd/coolbench driver produces the full-size figures; these targets
+// use moderate workloads so `go test -bench=.` stays fast while still
+// exhibiting every effect.
+package cool_test
+
+import (
+	"fmt"
+	"testing"
+
+	cool "github.com/coolrts/cool"
+	"github.com/coolrts/cool/internal/apps"
+	"github.com/coolrts/cool/internal/apps/pancho"
+)
+
+// benchProcs are the processor counts exercised per variant.
+var benchProcs = []int{8, 32}
+
+// benchSizes keeps bench workloads moderate (see each app's Params for
+// the meaning of size).
+var benchSizes = map[string]int{
+	"ocean":      128,
+	"locusroute": 16,
+	"pancho":     48,
+	"blockcho":   256,
+	"barneshut":  1024,
+	"gauss":      128,
+}
+
+// benchApp runs every variant × processor count of one registered app.
+func benchApp(b *testing.B, name string) {
+	app, ok := apps.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown app %s", name)
+	}
+	size := benchSizes[name]
+	ser, err := app.RunSerial(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range app.Variants {
+		for _, procs := range benchProcs {
+			b.Run(fmt.Sprintf("%s/P%d", variant, procs), func(b *testing.B) {
+				var res apps.Result
+				for i := 0; i < b.N; i++ {
+					res, err = app.Run(procs, variant, size)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.Cycles), "simcycles")
+				b.ReportMetric(float64(ser.Cycles)/float64(res.Cycles), "speedup")
+				b.ReportMetric(res.Report.Total.MissRate(), "missrate")
+			})
+		}
+	}
+}
+
+// BenchmarkFigOcean regenerates F6: Ocean speedup (paper §6.1).
+func BenchmarkFigOcean(b *testing.B) { benchApp(b, "ocean") }
+
+// BenchmarkFigLocusRoute regenerates F10: LocusRoute speedup (Fig. 10).
+func BenchmarkFigLocusRoute(b *testing.B) { benchApp(b, "locusroute") }
+
+// BenchmarkFigPanelCholesky regenerates F14: Panel Cholesky speedup
+// (Fig. 14).
+func BenchmarkFigPanelCholesky(b *testing.B) { benchApp(b, "pancho") }
+
+// BenchmarkFigBarnesHut regenerates F16a: Barnes-Hut speedup (Fig. 16).
+func BenchmarkFigBarnesHut(b *testing.B) { benchApp(b, "barneshut") }
+
+// BenchmarkFigBlockCholesky regenerates F16b: Block Cholesky speedup
+// (Fig. 16).
+func BenchmarkFigBlockCholesky(b *testing.B) { benchApp(b, "blockcho") }
+
+// BenchmarkGaussAffinity regenerates the Figure 3 ablation: Gaussian
+// elimination with no hints, OBJECT only, and TASK+OBJECT.
+func BenchmarkGaussAffinity(b *testing.B) { benchApp(b, "gauss") }
+
+// benchMiss runs one variant at a fixed processor count and reports the
+// cache-miss decomposition (the bar charts of Figures 11 and 15).
+func benchMiss(b *testing.B, name string) {
+	app, ok := apps.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown app %s", name)
+	}
+	size := benchSizes[name]
+	for _, variant := range app.Variants {
+		b.Run(variant, func(b *testing.B) {
+			var res apps.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = app.Run(16, variant, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			t := res.Report.Total
+			b.ReportMetric(float64(t.Misses()), "misses")
+			b.ReportMetric(float64(t.LocalMisses), "localmisses")
+			b.ReportMetric(float64(t.RemoteMisses), "remotemisses")
+			b.ReportMetric(t.LocalFraction(), "localfrac")
+		})
+	}
+}
+
+// BenchmarkFigLocusMiss regenerates F11: LocusRoute cache behaviour.
+func BenchmarkFigLocusMiss(b *testing.B) { benchMiss(b, "locusroute") }
+
+// BenchmarkFigPanelMiss regenerates F15: Panel Cholesky cache behaviour.
+func BenchmarkFigPanelMiss(b *testing.B) { benchMiss(b, "pancho") }
+
+// BenchmarkAblationQueueArray (A1) sweeps the per-server task-affinity
+// queue array size on a synthetic workload with many concurrently active
+// task-affinity sets, where slot collisions interleave sets and destroy
+// the back-to-back cache reuse the array exists to provide (paper §5).
+func BenchmarkAblationQueueArray(b *testing.B) {
+	for _, qs := range []int{1, 4, 64} {
+		b.Run(fmt.Sprintf("slots%d", qs), func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles = runSetReuseWorkload(b, cool.SchedPolicy{QueueArraySize: qs, NoStealing: true})
+			}
+			b.ReportMetric(float64(cycles), "simcycles")
+		})
+	}
+}
+
+// runSetReuseWorkload spawns S task-affinity sets × T tasks per set on
+// few processors; each task streams its set's 32 KB object, so tasks of
+// one set hit in cache only when serviced back to back.
+func runSetReuseWorkload(b *testing.B, pol cool.SchedPolicy) int64 {
+	rt, err := cool.NewRuntime(cool.Config{Processors: 2, Sched: pol})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const sets = 16
+	const perSet = 8
+	objs := make([]*cool.F64, sets)
+	for s := range objs {
+		objs[s] = rt.NewF64Pages(4096, 0) // 32 KB
+	}
+	err = rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			// Interleave spawn order across sets so slot assignment,
+			// not arrival order, decides service order.
+			for t := 0; t < perSet; t++ {
+				for s := 0; s < sets; s++ {
+					obj := objs[s]
+					ctx.Spawn("work", func(c *cool.Ctx) {
+						for i := 0; i < obj.Len(); i += 512 {
+							c.ReadF64Range(obj, i, i+512)
+							c.Compute(256)
+						}
+					}, cool.TaskAffinity(obj.Base))
+				}
+			}
+		})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt.ElapsedCycles()
+}
+
+// BenchmarkAblationStealPolicy (A2) compares the stealing policies of
+// §4.2 on Panel Cholesky at 16 processors.
+func BenchmarkAblationStealPolicy(b *testing.B) {
+	prm := pancho.Params{Grid: 48}
+	policies := []struct {
+		name string
+		pol  cool.SchedPolicy
+	}{
+		{"default", cool.SchedPolicy{}},
+		{"noStealing", cool.SchedPolicy{NoStealing: true}},
+		{"noObjectBoundStealing", cool.SchedPolicy{NoObjectBoundStealing: true}},
+		{"clusterOnly", cool.SchedPolicy{ClusterStealingOnly: true}},
+		{"noClusterFirst", cool.SchedPolicy{NoClusterStealFirst: true}},
+	}
+	for _, pc := range policies {
+		b.Run(pc.name, func(b *testing.B) {
+			var res pancho.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = pancho.RunCustom(16, pc.pol, true, prm)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles), "simcycles")
+		})
+	}
+}
+
+// BenchmarkAblationSetStealing (A3) shows whole-set stealing at work: an
+// imbalanced task-affinity workload where disabling set stealing forces
+// single-task steals that break up cache reuse.
+func BenchmarkAblationSetStealing(b *testing.B) {
+	run := func(pol cool.SchedPolicy) int64 {
+		rt, err := cool.NewRuntime(cool.Config{Processors: 4, Sched: pol})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const sets = 8
+		objs := make([]*cool.F64, sets)
+		for s := range objs {
+			objs[s] = rt.NewF64Pages(4096, 0)
+		}
+		err = rt.Run(func(ctx *cool.Ctx) {
+			ctx.WaitFor(func() {
+				for s := 0; s < sets; s++ {
+					// Unequal set sizes create the load imbalance that
+					// stealing must correct.
+					for t := 0; t < 2+3*s; t++ {
+						obj := objs[s]
+						ctx.Spawn("work", func(c *cool.Ctx) {
+							for i := 0; i < obj.Len(); i += 512 {
+								c.ReadF64Range(obj, i, i+512)
+								c.Compute(256)
+							}
+						}, cool.TaskAffinity(obj.Base))
+					}
+				}
+			})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rt.ElapsedCycles()
+	}
+	b.Run("setStealing", func(b *testing.B) {
+		var c int64
+		for i := 0; i < b.N; i++ {
+			c = run(cool.SchedPolicy{})
+		}
+		b.ReportMetric(float64(c), "simcycles")
+	})
+	b.Run("singleTaskStealsOnly", func(b *testing.B) {
+		var c int64
+		for i := 0; i < b.N; i++ {
+			c = run(cool.SchedPolicy{NoSetStealing: true})
+		}
+		b.ReportMetric(float64(c), "simcycles")
+	})
+}

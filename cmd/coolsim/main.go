@@ -1,0 +1,72 @@
+// Command coolsim runs a single application/variant/processor-count
+// combination on the simulated machine and prints its timing, speedup
+// versus the serial reference, and performance-monitor summary.
+//
+// Usage:
+//
+//	coolsim -app pancho -variant Distr+Aff -procs 16
+//	coolsim -app locusroute -variant Affinity+ObjectDistr -procs 8 -size 48
+//	coolsim -app ocean -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/coolrts/cool/internal/apps"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "application: "+strings.Join(apps.Names(), ", "))
+		variant = flag.String("variant", "", "program variant (see -list)")
+		procs   = flag.Int("procs", 8, "number of simulated processors")
+		size    = flag.Int("size", 0, "workload size override (app-specific; 0 = default)")
+		list    = flag.Bool("list", false, "list variants for -app and exit")
+		verbose = flag.Bool("v", false, "print the full per-run report")
+	)
+	flag.Parse()
+
+	app, ok := apps.Lookup(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "coolsim: unknown app %q (have: %s)\n", *appName, strings.Join(apps.Names(), ", "))
+		os.Exit(2)
+	}
+	if *list {
+		fmt.Printf("%s variants: %s\n", app.Name, strings.Join(app.Variants, ", "))
+		return
+	}
+	v := app.Variants[len(app.Variants)-1]
+	if *variant != "" {
+		v = *variant
+	}
+	found := false
+	for _, name := range app.Variants {
+		if name == v {
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "coolsim: app %s has no variant %q (have: %s)\n", app.Name, v, strings.Join(app.Variants, ", "))
+		os.Exit(2)
+	}
+
+	ser, err := app.RunSerial(*size)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coolsim: serial reference: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := app.Run(*procs, v, *size)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coolsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s/%s P=%d: %d cycles, speedup %.2f over serial (%d cycles)\n",
+		app.Name, v, *procs, res.Cycles, float64(ser.Cycles)/float64(res.Cycles), ser.Cycles)
+	if *verbose {
+		fmt.Println(res.Report)
+		fmt.Printf("verify: %s\n", res.Verify)
+	}
+}

@@ -1,0 +1,189 @@
+// Package cool is a Go reimplementation of the COOL parallel runtime from
+// "Data Locality and Load Balancing in COOL" (Chandra, Gupta, Hennessy,
+// PPoPP 1993), running on a simulated DASH-style shared-memory
+// multiprocessor.
+//
+// Programs dynamically create lightweight tasks and attach optional
+// affinity hints describing the objects each task references. The runtime
+// uses the hints to schedule tasks close — in the simulated memory
+// hierarchy — to their objects: task affinity groups tasks for
+// back-to-back cache reuse, object affinity collocates a task with the
+// cluster memory that homes its object, and processor affinity places a
+// task directly. Objects can be placed at allocation time and migrated
+// between cluster memories. Hints never change program semantics; they
+// only change where and when tasks run.
+//
+// Because the machine is simulated, speedups and cache behaviour are
+// measured in deterministic simulated cycles, reproducing the paper's
+// methodology on any host.
+//
+// A minimal program:
+//
+//	rt, err := cool.NewRuntime(cool.Config{Processors: 8})
+//	data := rt.NewF64(1<<16, 0)
+//	err = rt.Run(func(ctx *cool.Ctx) {
+//		ctx.WaitFor(func() {
+//			for c := 0; c < 8; c++ {
+//				part := data.Slice(c*8192, (c+1)*8192)
+//				ctx.Spawn("sum", func(ctx *cool.Ctx) {
+//					for i := 0; i < part.Len(); i++ {
+//						_ = ctx.ReadF64(part, i)
+//						ctx.Compute(1)
+//					}
+//				}, cool.ObjectAffinity(part.Base))
+//			}
+//		})
+//	})
+package cool
+
+import (
+	"fmt"
+
+	"github.com/coolrts/cool/internal/cache"
+	"github.com/coolrts/cool/internal/core"
+	"github.com/coolrts/cool/internal/machine"
+	"github.com/coolrts/cool/internal/memsim"
+	"github.com/coolrts/cool/internal/perfmon"
+	"github.com/coolrts/cool/internal/sim"
+)
+
+// SchedPolicy exposes the scheduling knobs studied in the paper. The zero
+// value is the runtime's default policy (hints honoured, 64 task-affinity
+// queues per server, whole-set stealing, cluster-first victim order,
+// object-bound tasks stolen only as a last resort).
+type SchedPolicy struct {
+	// IgnoreHints reproduces the paper's "Base" program versions:
+	// round-robin task placement with no locality.
+	IgnoreHints bool
+	// QueueArraySize overrides the number of task-affinity queues per
+	// server (0 means the default of 64).
+	QueueArraySize int
+	// ClusterStealingOnly restricts stealing to the thief's cluster
+	// (the paper's Panel Cholesky cluster-stealing experiment).
+	ClusterStealingOnly bool
+	// NoClusterStealFirst disables preferring same-cluster victims.
+	NoClusterStealFirst bool
+	// NoSetStealing disables stealing whole task-affinity sets.
+	NoSetStealing bool
+	// NoObjectBoundStealing forbids stealing object-affinity tasks
+	// entirely (locality over load balance).
+	NoObjectBoundStealing bool
+	// NoStealing disables work stealing entirely (ablation).
+	NoStealing bool
+	// PlaceSetsLeastLoaded places new task-affinity sets on the
+	// least-loaded server instead of round-robin (§4.2).
+	PlaceSetsLeastLoaded bool
+}
+
+// Config describes the simulated machine and runtime policy.
+type Config struct {
+	// Processors is the number of server processes (and simulated
+	// processors). Required.
+	Processors int
+	// ClusterSize is the number of processors sharing one local memory
+	// (0 means DASH's 4).
+	ClusterSize int
+	// Sched selects the scheduling policy.
+	Sched SchedPolicy
+	// Quantum overrides the interleaving quantum in cycles (0 = default).
+	Quantum int64
+	// Seed drives all randomized decisions (0 = default seed 1).
+	Seed int64
+	// TraceCapacity, when positive, records up to that many scheduler
+	// events (see Runtime.TraceEvents, TraceDump, TraceTimeline).
+	TraceCapacity int
+	// Machine, when non-nil, overrides the full machine description
+	// (latencies, cache geometry); Processors/ClusterSize are ignored.
+	Machine *machine.Config
+}
+
+// Runtime is one simulated COOL program execution environment. Allocate
+// objects, then call Run exactly once.
+type Runtime struct {
+	cfg    machine.Config
+	eng    *sim.Engine
+	space  *memsim.Space
+	caches *cache.System
+	sched  *core.Scheduler
+	mon    *perfmon.Monitor
+	ran    bool
+}
+
+// NewRuntime builds a runtime for the given configuration.
+func NewRuntime(c Config) (*Runtime, error) {
+	var mc machine.Config
+	if c.Machine != nil {
+		mc = *c.Machine
+	} else {
+		if c.Processors <= 0 {
+			return nil, fmt.Errorf("cool: Config.Processors must be positive")
+		}
+		mc = machine.DASH(c.Processors)
+		if c.ClusterSize > 0 {
+			mc.ClusterSize = c.ClusterSize
+		}
+		if c.Quantum > 0 {
+			mc.Quantum = c.Quantum
+		}
+		if c.Seed != 0 {
+			mc.Seed = c.Seed
+		}
+	}
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	pol := core.DefaultPolicy()
+	pol.IgnoreHints = c.Sched.IgnoreHints
+	if c.Sched.QueueArraySize > 0 {
+		pol.QueueArraySize = c.Sched.QueueArraySize
+	}
+	pol.ClusterStealingOnly = c.Sched.ClusterStealingOnly
+	pol.ClusterStealFirst = !c.Sched.NoClusterStealFirst
+	pol.StealWholeSets = !c.Sched.NoSetStealing
+	pol.StealObjectBound = !c.Sched.NoObjectBoundStealing
+	pol.DisableStealing = c.Sched.NoStealing
+	pol.PlaceSetsLeastLoaded = c.Sched.PlaceSetsLeastLoaded
+
+	rt := &Runtime{cfg: mc}
+	rt.eng = sim.New(mc.Processors, mc.Quantum, mc.Seed)
+	rt.space = memsim.New(mc)
+	rt.mon = perfmon.New(mc.Processors)
+	rt.caches = cache.New(mc, rt.space, rt.mon)
+	rt.sched = core.NewScheduler(mc, pol, rt.eng, rt.space, rt.mon)
+	if c.TraceCapacity > 0 {
+		rt.enableTracing(c.TraceCapacity)
+	}
+	return rt, nil
+}
+
+// Processors returns the number of simulated processors.
+func (rt *Runtime) Processors() int { return rt.cfg.Processors }
+
+// Clusters returns the number of clusters (memory modules).
+func (rt *Runtime) Clusters() int { return rt.cfg.Clusters() }
+
+// MachineConfig returns a copy of the simulated machine description.
+func (rt *Runtime) MachineConfig() machine.Config { return rt.cfg }
+
+// Run executes main as the program's root task on processor 0 and
+// simulates until every task has completed. It returns an error if a task
+// panicked or the program deadlocked. Run may be called only once.
+func (rt *Runtime) Run(main func(*Ctx)) error {
+	if rt.ran {
+		return fmt.Errorf("cool: Runtime.Run called twice")
+	}
+	rt.ran = true
+	td := &core.TaskDesc{Class: core.ClassProcessor, Server: 0, Slot: -1}
+	t := rt.eng.NewTask("main", 0, func(sc *sim.Ctx) {
+		main(&Ctx{sc: sc, rt: rt})
+		rt.sched.TraceDone(sc)
+	})
+	t.Data = td
+	td.T = t
+	rt.sched.Enqueue(td, 0)
+	return rt.eng.Run()
+}
+
+// ElapsedCycles returns the simulated parallel execution time: the
+// largest processor clock after Run.
+func (rt *Runtime) ElapsedCycles() int64 { return rt.eng.MaxClock() }

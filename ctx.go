@@ -1,0 +1,287 @@
+package cool
+
+import (
+	"github.com/coolrts/cool/internal/core"
+	"github.com/coolrts/cool/internal/sim"
+)
+
+// Ctx is the execution context of a running task. Every simulated action —
+// computing, touching memory, spawning, synchronizing — goes through it
+// and is charged simulated cycles on the current processor.
+type Ctx struct {
+	sc    *sim.Ctx
+	rt    *Runtime
+	scope *core.Scope // innermost active waitfor scope
+}
+
+// Runtime returns the runtime executing this task.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// ProcID returns the processor currently executing the task.
+func (c *Ctx) ProcID() int { return c.sc.Proc().ID }
+
+// Cluster returns the cluster of the current processor.
+func (c *Ctx) Cluster() int { return c.rt.cfg.ClusterOf(c.ProcID()) }
+
+// NumProcs returns the number of processors in the machine.
+func (c *Ctx) NumProcs() int { return c.rt.cfg.Processors }
+
+// Now returns the current simulated time on this processor, in cycles.
+func (c *Ctx) Now() int64 { return c.sc.Now() }
+
+// Compute charges cycles of pure computation (no memory traffic).
+func (c *Ctx) Compute(cycles int64) {
+	c.rt.mon.Per[c.ProcID()].ComputeCycles += cycles
+	c.sc.Charge(cycles)
+}
+
+// Access simulates a reference to [addr, addr+size) and charges the
+// latency of whichever level of the memory hierarchy services it.
+func (c *Ctx) Access(addr, size int64, write bool) {
+	p := c.ProcID()
+	cyc := c.rt.caches.Access(p, c.sc.Now(), addr, size, write)
+	c.rt.mon.Per[p].MemCycles += cyc
+	c.sc.Charge(cyc)
+}
+
+// spawnOptions accumulates the affinity specification of one spawn.
+type spawnOptions struct {
+	aff   core.Affinity
+	mutex *Monitor
+	objs  []sizedObj // OBJECT affinity operands (one or several)
+}
+
+// sizedObj is one OBJECT affinity operand with an optional size used to
+// weigh placement when several objects are named.
+type sizedObj struct {
+	addr int64
+	size int64
+}
+
+// SpawnOpt is an affinity hint or execution option for Spawn, mirroring
+// the affinity declarations of Table 1 in the paper.
+type SpawnOpt func(*spawnOptions)
+
+// OnObject declares simple affinity: the task wants cache and memory
+// locality on the object at addr (also the "default affinity" a COOL
+// parallel function has for its base object).
+func OnObject(addr int64) SpawnOpt {
+	return func(o *spawnOptions) {
+		o.aff.TaskObj = addr
+		switch o.aff.Kind {
+		case core.AffNone:
+			o.aff.Kind = core.AffSimple
+		case core.AffObject:
+			o.aff.Kind = core.AffTaskObject
+		}
+	}
+}
+
+// TaskAffinity declares affinity(obj, TASK): tasks naming the same object
+// form a task-affinity set executed back to back for cache reuse.
+func TaskAffinity(addr int64) SpawnOpt {
+	return func(o *spawnOptions) {
+		o.aff.TaskObj = addr
+		switch o.aff.Kind {
+		case core.AffNone, core.AffSimple:
+			o.aff.Kind = core.AffTask
+		case core.AffObject, core.AffTaskObject:
+			o.aff.Kind = core.AffTaskObject
+		}
+	}
+}
+
+// ObjectAffinity declares affinity(obj, OBJECT): the task is collocated
+// with the processor whose local memory homes the object.
+func ObjectAffinity(addr int64) SpawnOpt {
+	return ObjectAffinitySized(addr, 0)
+}
+
+// ObjectAffinitySized declares OBJECT affinity for an object of known
+// size. When a spawn names several objects, the task is placed on the
+// server homing the most bytes and the runtime prefetches the remaining
+// objects as the task starts — the multiple-object heuristic the paper
+// proposes in §4.1.
+func ObjectAffinitySized(addr, size int64) SpawnOpt {
+	return func(o *spawnOptions) {
+		o.objs = append(o.objs, sizedObj{addr: addr, size: size})
+		o.aff.ObjectObj = addr
+		switch o.aff.Kind {
+		case core.AffNone, core.AffSimple:
+			o.aff.Kind = core.AffObject
+		case core.AffTask:
+			o.aff.Kind = core.AffTaskObject
+		}
+	}
+}
+
+// OnProcessor declares affinity(n, PROCESSOR): schedule the task directly
+// on server n modulo the number of processors.
+func OnProcessor(n int) SpawnOpt {
+	return func(o *spawnOptions) {
+		o.aff.Kind = core.AffProcessor
+		o.aff.Processor = n
+	}
+}
+
+// WithMutex makes the spawned task a COOL mutex function: it acquires the
+// monitor before its body runs and releases it after, serializing with
+// other mutex tasks on the same object.
+func WithMutex(m *Monitor) SpawnOpt {
+	return func(o *spawnOptions) { o.mutex = m }
+}
+
+// Spawn creates a task executing fn. With no options the task has no
+// locality preference; affinity options steer its placement exactly as
+// the paper's affinity declarations do. The task is accounted to the
+// innermost enclosing WaitFor scope (transitively inherited by its own
+// spawns).
+func (c *Ctx) Spawn(name string, fn func(*Ctx), opts ...SpawnOpt) {
+	c.sc.SyncPoint()
+	var o spawnOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	p := c.ProcID()
+	rt := c.rt
+	rt.mon.Per[p].Spawns++
+	c.sc.Charge(rt.cfg.Lat.Spawn)
+
+	// Multiple OBJECT operands: place at the server homing the most
+	// bytes; the rest are prefetched when the task starts (§4.1).
+	var prefetch []sizedObj
+	if len(o.objs) > 1 {
+		best := pickHome(rt, o.objs)
+		o.aff.ObjectObj = o.objs[best].addr
+		for i, ob := range o.objs {
+			if i != best {
+				prefetch = append(prefetch, ob)
+			}
+		}
+	}
+
+	class, server, slot, affObj := rt.sched.Place(o.aff, p)
+	if server != p {
+		c.sc.Charge(rt.cfg.Lat.EnqueueAway)
+	}
+	td := &core.TaskDesc{
+		Class:  class,
+		Server: server,
+		Slot:   slot,
+		AffObj: affObj,
+		Scope:  c.scope,
+	}
+	if td.Scope != nil {
+		rt.sched.ScopeAdd(td.Scope)
+	}
+	mutex := o.mutex
+	t := rt.eng.NewTask(name, c.sc.Now(), func(sc *sim.Ctx) {
+		cc := &Ctx{sc: sc, rt: rt, scope: td.Scope}
+		for _, ob := range prefetch {
+			size := ob.size
+			if size <= 0 {
+				size = 64
+			}
+			cc.Prefetch(ob.addr, size)
+		}
+		if mutex != nil {
+			rt.sched.Lock(sc, &mutex.m)
+		}
+		fn(cc)
+		if mutex != nil {
+			rt.sched.Unlock(sc, &mutex.m)
+		}
+		if td.Scope != nil {
+			rt.sched.ScopeDone(sc, td.Scope)
+		}
+		rt.sched.TraceDone(sc)
+	})
+	t.Data = td
+	td.T = t
+	rt.sched.Enqueue(td, c.sc.Now())
+}
+
+// pickHome returns the index of the object whose home server holds the
+// most affinity-weighted bytes.
+func pickHome(rt *Runtime, objs []sizedObj) int {
+	bytesAt := map[int]int64{}
+	for _, ob := range objs {
+		w := ob.size
+		if w <= 0 {
+			w = 1
+		}
+		bytesAt[rt.sched.HomeServer(ob.addr)] += w
+	}
+	best, bestBytes := 0, int64(-1)
+	for i, ob := range objs {
+		sv := rt.sched.HomeServer(ob.addr)
+		if bytesAt[sv] > bestBytes {
+			best, bestBytes = i, bytesAt[sv]
+		}
+	}
+	return best
+}
+
+// Prefetch issues a non-binding read prefetch of [addr, addr+size): the
+// lines stream into this processor's caches while only a small issue
+// cost is charged (the paper's §8 prefetching support).
+func (c *Ctx) Prefetch(addr, size int64) {
+	p := c.ProcID()
+	cyc := c.rt.caches.Prefetch(p, c.sc.Now(), addr, size)
+	c.rt.mon.Per[p].MemCycles += cyc
+	c.sc.Charge(cyc)
+}
+
+// WaitFor runs body (in the current task) and then blocks until every
+// task spawned within body's dynamic extent — including tasks spawned by
+// descendant tasks outside any inner WaitFor — has completed. This is the
+// paper's waitfor construct.
+func (c *Ctx) WaitFor(body func()) {
+	scope := &core.Scope{}
+	old := c.scope
+	c.scope = scope
+	body()
+	c.scope = old
+	c.rt.sched.ScopeWait(c.sc, scope)
+}
+
+// SetClusterStealingOnly flips the cluster-stealing restriction while
+// the program runs — the dynamic runtime flag of the paper's Panel
+// Cholesky cluster-scheduling experiment (§6.3).
+func (c *Ctx) SetClusterStealingOnly(on bool) {
+	c.rt.sched.SetClusterStealingOnly(on)
+}
+
+// Monitor serializes mutex functions on one object (COOL's monitor).
+// Create with Runtime.NewMonitor or use the zero value for an object
+// without a simulated address.
+type Monitor struct {
+	m core.Monitor
+}
+
+// NewMonitor returns a monitor associated with the simulated object at
+// addr (used for accounting; the zero Monitor works too).
+func (rt *Runtime) NewMonitor(addr int64) *Monitor {
+	return &Monitor{m: core.Monitor{Addr: addr}}
+}
+
+// Lock acquires the monitor, blocking while another task holds it.
+func (c *Ctx) Lock(m *Monitor) { c.rt.sched.Lock(c.sc, &m.m) }
+
+// Unlock releases the monitor.
+func (c *Ctx) Unlock(m *Monitor) { c.rt.sched.Unlock(c.sc, &m.m) }
+
+// Cond is a condition variable with Mesa semantics, used with a Monitor.
+type Cond struct {
+	c core.Cond
+}
+
+// Wait atomically releases m and blocks until signalled, reacquiring m
+// before returning.
+func (c *Ctx) Wait(cv *Cond, m *Monitor) { c.rt.sched.Wait(c.sc, &cv.c, &m.m) }
+
+// Signal wakes the oldest waiter on cv, if any.
+func (c *Ctx) Signal(cv *Cond) { c.rt.sched.Signal(c.sc, &cv.c) }
+
+// Broadcast wakes every waiter on cv.
+func (c *Ctx) Broadcast(cv *Cond) { c.rt.sched.Broadcast(c.sc, &cv.c) }

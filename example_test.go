@@ -1,0 +1,77 @@
+package cool_test
+
+import (
+	"fmt"
+
+	cool "github.com/coolrts/cool"
+)
+
+// ExampleRuntime demonstrates the basic shape of a COOL program: placed
+// allocation, parallel tasks with object affinity, and a waitfor join.
+func ExampleRuntime() {
+	rt, _ := cool.NewRuntime(cool.Config{Processors: 8})
+	data := rt.NewF64Pages(1024, 0)
+	for i := range data.Data {
+		data.Data[i] = 1
+	}
+	sums := make([]float64, 8)
+	_ = rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			for c := 0; c < 8; c++ {
+				c := c
+				part := data.Slice(c*128, (c+1)*128)
+				ctx.Spawn("sum", func(t *cool.Ctx) {
+					var s float64
+					for _, v := range t.ReadF64Range(part, 0, part.Len()) {
+						s += v
+					}
+					t.Compute(int64(part.Len()))
+					sums[c] = s
+				}, cool.ObjectAffinity(part.Base))
+			}
+		})
+	})
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	fmt.Println(total)
+	// Output: 1024
+}
+
+// ExampleCtx_Migrate shows COOL's object distribution: migrate() re-homes
+// an object and home() reports the placement.
+func ExampleCtx_Migrate() {
+	rt, _ := cool.NewRuntime(cool.Config{Processors: 32})
+	arr := rt.NewF64Pages(4096, 0)
+	_ = rt.Run(func(ctx *cool.Ctx) {
+		fmt.Println("home before:", ctx.Home(arr.Base))
+		ctx.Migrate(arr.Base, int64(arr.Len())*8, 21)
+		fmt.Println("home after:", ctx.Home(arr.Base))
+	})
+	// Output:
+	// home before: 0
+	// home after: 21
+}
+
+// ExampleCtx_Lock shows a COOL monitor serializing a critical section.
+func ExampleCtx_Lock() {
+	rt, _ := cool.NewRuntime(cool.Config{Processors: 4})
+	mon := rt.NewMonitor(0)
+	count := 0
+	_ = rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			for i := 0; i < 10; i++ {
+				ctx.Spawn("inc", func(c *cool.Ctx) {
+					c.Lock(mon)
+					v := count
+					c.Compute(100)
+					count = v + 1
+					c.Unlock(mon)
+				})
+			}
+		})
+	})
+	fmt.Println(count)
+	// Output: 10
+}

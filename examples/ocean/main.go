@@ -1,0 +1,87 @@
+// Ocean-style grid relaxation, transcribed from Figure 5 of the paper:
+// each grid is partitioned into regions; the distribute() step migrates
+// corresponding regions of all grids to the same processor's memory, and
+// each region task carries the default affinity for its region, so
+// every sweep runs where its data lives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cool "github.com/coolrts/cool"
+)
+
+const (
+	n       = 128 // grid is n×n
+	regions = 16
+	grids   = 4
+	steps   = 3
+	procs   = 16
+)
+
+func simulate(distribute, hints bool) (int64, cool.Report) {
+	rt, err := cool.NewRuntime(cool.Config{
+		Processors: procs,
+		Sched:      cool.SchedPolicy{IgnoreHints: !hints},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gs := make([]*cool.F64, grids)
+	for g := range gs {
+		gs[g] = rt.NewF64Pages(n*n, 0)
+		for i := range gs[g].Data {
+			gs[g].Data[i] = float64((i + g) % 13)
+		}
+	}
+	rows := n / regions
+	if distribute {
+		// Figure 5's distribute(): region r of every grid to processor r.
+		for _, g := range gs {
+			for r := 0; r < regions; r++ {
+				rt.Migrate(g.Addr(r*rows*n), int64(rows*n*8), r)
+			}
+		}
+	}
+
+	err = rt.Run(func(ctx *cool.Ctx) {
+		for s := 0; s < steps; s++ {
+			for g := 1; g < grids; g++ {
+				src, dst := gs[g-1], gs[g]
+				ctx.WaitFor(func() {
+					for r := 0; r < regions; r++ {
+						r := r
+						ctx.Spawn("laplace", func(c *cool.Ctx) {
+							lo, hi := max(r*rows, 1), min((r+1)*rows, n-1)
+							for i := lo; i < hi; i++ {
+								up := c.ReadF64Range(src, (i-1)*n, i*n)
+								mid := c.ReadF64Range(src, i*n, (i+1)*n)
+								down := c.ReadF64Range(src, (i+1)*n, (i+2)*n)
+								out := c.WriteF64Range(dst, i*n, (i+1)*n)
+								for j := 1; j < n-1; j++ {
+									out[j] = 0.2 * (mid[j] + mid[j-1] + mid[j+1] + up[j] + down[j])
+								}
+								c.Compute(int64(5 * n))
+							}
+						}, cool.OnObject(dst.Addr(r*rows*n))) // default affinity for the region
+					}
+				})
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rt.ElapsedCycles(), rt.Report()
+}
+
+func main() {
+	base, baseRep := simulate(false, false)
+	distr, distrRep := simulate(true, true)
+	fmt.Printf("base:                %9d cycles, miss rate %.4f, %4.1f%% local\n",
+		base, baseRep.Total.MissRate(), 100*baseRep.Total.LocalFraction())
+	fmt.Printf("distribute+affinity: %9d cycles, miss rate %.4f, %4.1f%% local\n",
+		distr, distrRep.Total.MissRate(), 100*distrRep.Total.LocalFraction())
+	fmt.Printf("improvement: %.2fx\n", float64(base)/float64(distr))
+}

@@ -1,0 +1,48 @@
+// Trace: visualize what the scheduler actually did. The program runs a
+// small imbalanced workload with tracing enabled, dumps the first
+// scheduler events, and renders a per-processor utilization timeline —
+// watch the idle processors steal the queue built up on processor 0.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cool "github.com/coolrts/cool"
+)
+
+func main() {
+	rt, err := cool.NewRuntime(cool.Config{Processors: 8, TraceCapacity: 1 << 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			// Everything lands on processor 0's queue; the rest of the
+			// machine has to steal for its supper.
+			for i := 0; i < 24; i++ {
+				i := i
+				ctx.Spawn(fmt.Sprintf("job%02d", i), func(c *cool.Ctx) {
+					c.Compute(int64(4000 + i*500))
+				}, cool.OnProcessor(0))
+			}
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	events := rt.TraceEvents()
+	fmt.Printf("%d scheduler events; first 12:\n", len(events))
+	for _, e := range events[:12] {
+		fmt.Printf("  t=%-7d P%-2d %-8s %s\n", e.Time, e.Proc, e.Kind, e.Task)
+	}
+	steals := 0
+	for _, e := range events {
+		if e.Kind == "steal" {
+			steals++
+		}
+	}
+	fmt.Printf("\n%d tasks were stolen from processor 0's queue\n", steals)
+	fmt.Printf("\nutilization timeline (%d cycles total):\n%s", rt.ElapsedCycles(), rt.TraceTimeline(64))
+}

@@ -1,0 +1,3 @@
+module github.com/coolrts/cool
+
+go 1.22

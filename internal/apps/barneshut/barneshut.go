@@ -1,0 +1,438 @@
+// Package barneshut is the Barnes-Hut case study (paper §6.4): an N-body
+// simulation that approximates far-field gravity through an octree of
+// mass centroids. Each timestep rebuilds the tree, computes forces in
+// parallel — one task per spatially contiguous body group, with affinity
+// for the group's body block — and advances the bodies. Affinity
+// scheduling keeps a group (and the subtree it mostly traverses) resident
+// in one processor's cache across steps; distributing the body blocks
+// makes the remaining misses local.
+package barneshut
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	cool "github.com/coolrts/cool"
+)
+
+// Variant selects the program version of Figure 16.
+type Variant int
+
+const (
+	// Base: body blocks in one memory, hints ignored.
+	Base Variant = iota
+	// AffDistr: blocks distributed, group tasks with object affinity.
+	AffDistr
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Base:
+		return "Base"
+	case AffDistr:
+		return "Affinity+Distr"
+	}
+	return "unknown"
+}
+
+// Variants lists the program versions in order.
+var Variants = []Variant{Base, AffDistr}
+
+// Params sizes the workload.
+type Params struct {
+	Bodies int
+	Groups int
+	Steps  int
+	Theta  float64 // multipole acceptance criterion
+	Seed   int64
+}
+
+// DefaultParams returns the standard workload.
+func DefaultParams() Params { return Params{Bodies: 2048, Groups: 64, Steps: 3, Theta: 0.5, Seed: 11} }
+
+func (p Params) normalize() (Params, error) {
+	d := DefaultParams()
+	if p.Bodies <= 0 {
+		p.Bodies = d.Bodies
+	}
+	if p.Groups <= 0 {
+		p.Groups = d.Groups
+	}
+	if p.Steps <= 0 {
+		p.Steps = d.Steps
+	}
+	if p.Theta <= 0 {
+		p.Theta = d.Theta
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	if p.Bodies%p.Groups != 0 {
+		return p, fmt.Errorf("barneshut: Bodies (%d) must be divisible by Groups (%d)", p.Bodies, p.Groups)
+	}
+	return p, nil
+}
+
+// Result carries timing and correctness evidence.
+type Result struct {
+	Cycles   int64
+	Report   cool.Report
+	Checksum float64 // bitwise-comparable position digest
+	Tasks    int64
+}
+
+const (
+	fieldsPerBody = 10 // x y z m vx vy vz ax ay az
+	nodeStride    = 16 // floats per tree-node record (two cache lines)
+)
+
+// node is the host-side octree node; its hot data (centroid, mass, size)
+// also lives in simulated memory for latency charging.
+type node struct {
+	cx, cy, cz float64 // cell center
+	half       float64
+	mass       float64
+	mx, my, mz float64 // mass-weighted centroid accumulator
+	body       int     // body index for singleton leaves, -1 otherwise
+	children   [8]int  // node indices, 0 = none
+	leaf       bool
+}
+
+type app struct {
+	prm    Params
+	groups []*cool.F64 // per-group body blocks
+	tree   *cool.F64   // node records in simulated memory
+	nodes  []node
+}
+
+func build(rt *cool.Runtime, prm Params, distribute bool) *app {
+	ap := &app{prm: prm}
+	per := prm.Bodies / prm.Groups
+
+	// Deterministic initial conditions, sorted by a coarse space-filling
+	// key so each group is spatially contiguous (as SPLASH does).
+	rng := rand.New(rand.NewSource(prm.Seed))
+	type b3 struct{ x, y, z float64 }
+	bodies := make([]b3, prm.Bodies)
+	for i := range bodies {
+		bodies[i] = b3{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	key := func(b b3) int {
+		const g = 8
+		return (int(b.x*g)<<8 | int(b.y*g)<<4) | int(b.z*g)
+	}
+	sort.SliceStable(bodies, func(i, j int) bool { return key(bodies[i]) < key(bodies[j]) })
+
+	ap.groups = make([]*cool.F64, prm.Groups)
+	for g := range ap.groups {
+		proc := 0
+		if distribute {
+			proc = g % rt.Processors()
+		}
+		arr := rt.NewF64Pages(per*fieldsPerBody, proc)
+		for i := 0; i < per; i++ {
+			b := bodies[g*per+i]
+			d := arr.Data[i*fieldsPerBody:]
+			d[0], d[1], d[2] = b.x, b.y, b.z
+			d[3] = 1 / float64(prm.Bodies) // mass
+		}
+		ap.groups[g] = arr
+	}
+	ap.tree = rt.NewF64Pages(4*prm.Bodies*nodeStride, 0)
+	if distribute {
+		// Distribute the tree pages round-robin too: the tree is the
+		// hottest shared object, and leaving it in one memory saturates
+		// that module's bandwidth during the force phase.
+		page := int64(4096)
+		total := int64(ap.tree.Len()) * 8
+		for off, i := int64(0), 0; off < total; off, i = off+page, i+1 {
+			sz := page
+			if off+sz > total {
+				sz = total - off
+			}
+			rt.Migrate(ap.tree.Base+off, sz, i%rt.Processors())
+		}
+	}
+	return ap
+}
+
+// body returns the group array and element offset of body i.
+func (ap *app) body(i int) (*cool.F64, int) {
+	per := ap.prm.Bodies / ap.prm.Groups
+	return ap.groups[i/per], (i % per) * fieldsPerBody
+}
+
+// buildTree inserts every body into a fresh octree (run in one task; the
+// paper's tree build is also a serial phase at these problem sizes).
+func (ap *app) buildTree(ctx *cool.Ctx) {
+	ap.nodes = ap.nodes[:0]
+	ap.newNode(0.5, 0.5, 0.5, 0.5)
+	for i := 0; i < ap.prm.Bodies; i++ {
+		arr, off := ap.body(i)
+		ctx.Access(arr.Addr(off), 32, false) // position + mass
+		ap.insert(ctx, 0, i, arr.Data[off], arr.Data[off+1], arr.Data[off+2], arr.Data[off+3], 0)
+	}
+	ap.finalize(ctx, 0)
+}
+
+func (ap *app) newNode(cx, cy, cz, half float64) int {
+	ap.nodes = append(ap.nodes, node{cx: cx, cy: cy, cz: cz, half: half, body: -1, leaf: true})
+	return len(ap.nodes) - 1
+}
+
+func (ap *app) insert(ctx *cool.Ctx, n, bi int, x, y, z, m float64, depth int) {
+	ctx.Access(ap.tree.Addr(n*nodeStride), 64, true)
+	ctx.Compute(12)
+	nd := &ap.nodes[n]
+	nd.mass += m
+	nd.mx += m * x
+	nd.my += m * y
+	nd.mz += m * z
+	if nd.leaf {
+		if nd.body == -1 {
+			nd.body = bi
+			return
+		}
+		if depth > 60 {
+			// Coincident bodies: keep only aggregate mass.
+			return
+		}
+		// Split: push the resident body down, then continue.
+		old := nd.body
+		nd.body = -1
+		nd.leaf = false
+		arr, off := ap.body(old)
+		ox, oy, oz, om := arr.Data[off], arr.Data[off+1], arr.Data[off+2], arr.Data[off+3]
+		ap.insertChild(ctx, n, old, ox, oy, oz, om, depth)
+	}
+	ap.insertChild(ctx, n, bi, x, y, z, m, depth)
+}
+
+func (ap *app) insertChild(ctx *cool.Ctx, n, bi int, x, y, z, m float64, depth int) {
+	nd := &ap.nodes[n]
+	oct := 0
+	if x >= nd.cx {
+		oct |= 1
+	}
+	if y >= nd.cy {
+		oct |= 2
+	}
+	if z >= nd.cz {
+		oct |= 4
+	}
+	c := nd.children[oct]
+	if c == 0 {
+		h := nd.half / 2
+		cx, cy, cz := nd.cx-h, nd.cy-h, nd.cz-h
+		if oct&1 != 0 {
+			cx += nd.half
+		}
+		if oct&2 != 0 {
+			cy += nd.half
+		}
+		if oct&4 != 0 {
+			cz += nd.half
+		}
+		c = ap.newNode(cx, cy, cz, h)
+		ap.nodes[n].children[oct] = c
+	}
+	// Note: ap.nodes may have been reallocated by newNode; re-index.
+	ap.insert(ctx, c, bi, x, y, z, m, depth+1)
+}
+
+// finalize converts centroid accumulators into centroids and writes the
+// records out to simulated memory.
+func (ap *app) finalize(ctx *cool.Ctx, n int) {
+	nd := &ap.nodes[n]
+	if nd.mass > 0 {
+		nd.mx /= nd.mass
+		nd.my /= nd.mass
+		nd.mz /= nd.mass
+	}
+	ctx.Access(ap.tree.Addr(n*nodeStride), 64, true)
+	ctx.Compute(6)
+	if !nd.leaf {
+		for _, c := range nd.children {
+			if c != 0 {
+				ap.finalize(ctx, c)
+			}
+		}
+	}
+}
+
+// force accumulates the acceleration on body bi by traversing the tree.
+func (ap *app) force(ctx *cool.Ctx, bi int) (float64, float64, float64) {
+	arr, off := ap.body(bi)
+	x, y, z := arr.Data[off], arr.Data[off+1], arr.Data[off+2]
+	const eps2 = 1e-4
+	var ax, ay, az float64
+	theta2 := ap.prm.Theta * ap.prm.Theta
+
+	var walk func(n int)
+	walk = func(n int) {
+		nd := &ap.nodes[n]
+		ctx.Access(ap.tree.Addr(n*nodeStride), 64, false)
+		dx, dy, dz := nd.mx-x, nd.my-y, nd.mz-z
+		d2 := dx*dx + dy*dy + dz*dz + eps2
+		ctx.Compute(16)
+		if nd.leaf {
+			if nd.body == bi || nd.mass == 0 {
+				return
+			}
+			inv := 1 / (d2 * math.Sqrt(d2))
+			ax += nd.mass * dx * inv
+			ay += nd.mass * dy * inv
+			az += nd.mass * dz * inv
+			ctx.Compute(12)
+			return
+		}
+		size := nd.half * 2
+		if size*size < theta2*d2 {
+			inv := 1 / (d2 * math.Sqrt(d2))
+			ax += nd.mass * dx * inv
+			ay += nd.mass * dy * inv
+			az += nd.mass * dz * inv
+			ctx.Compute(12)
+			return
+		}
+		for _, c := range nd.children {
+			if c != 0 {
+				walk(c)
+			}
+		}
+	}
+	walk(0)
+	return ax, ay, az
+}
+
+// groupForces computes accelerations for one body group.
+func (ap *app) groupForces(ctx *cool.Ctx, g int) {
+	per := ap.prm.Bodies / ap.prm.Groups
+	arr := ap.groups[g]
+	for i := 0; i < per; i++ {
+		bi := g*per + i
+		off := i * fieldsPerBody
+		ctx.Access(arr.Addr(off), 32, false)
+		ax, ay, az := ap.force(ctx, bi)
+		arr.Data[off+7], arr.Data[off+8], arr.Data[off+9] = ax, ay, az
+		ctx.Access(arr.Addr(off+7), 24, true)
+	}
+}
+
+// groupAdvance integrates one group's velocities and positions.
+func (ap *app) groupAdvance(ctx *cool.Ctx, g int) {
+	const dt = 1e-3
+	per := ap.prm.Bodies / ap.prm.Groups
+	arr := ap.groups[g]
+	for i := 0; i < per; i++ {
+		off := i * fieldsPerBody
+		d := arr.Data[off:]
+		ctx.Access(arr.Addr(off), 80, true)
+		d[4] += dt * d[7]
+		d[5] += dt * d[8]
+		d[6] += dt * d[9]
+		d[0] += dt * d[4]
+		d[1] += dt * d[5]
+		d[2] += dt * d[6]
+		ctx.Compute(12)
+	}
+}
+
+// step runs one timestep: serial tree build, then parallel force and
+// advance phases over the body groups.
+func (ap *app) step(ctx *cool.Ctx, parallel bool) {
+	ap.buildTree(ctx)
+	if !parallel {
+		for g := 0; g < ap.prm.Groups; g++ {
+			ap.groupForces(ctx, g)
+		}
+		for g := 0; g < ap.prm.Groups; g++ {
+			ap.groupAdvance(ctx, g)
+		}
+		return
+	}
+	ctx.WaitFor(func() {
+		for g := 0; g < ap.prm.Groups; g++ {
+			g := g
+			ctx.Spawn("forces", func(c *cool.Ctx) { ap.groupForces(c, g) },
+				cool.OnObject(ap.groups[g].Base))
+		}
+	})
+	ctx.WaitFor(func() {
+		for g := 0; g < ap.prm.Groups; g++ {
+			g := g
+			ctx.Spawn("advance", func(c *cool.Ctx) { ap.groupAdvance(c, g) },
+				cool.OnObject(ap.groups[g].Base))
+		}
+	})
+}
+
+func (ap *app) checksum() float64 {
+	var s float64
+	for _, g := range ap.groups {
+		for i := 0; i < g.Len(); i += fieldsPerBody {
+			s += g.Data[i] + 2*g.Data[i+1] + 3*g.Data[i+2]
+		}
+	}
+	return s
+}
+
+// Run executes the simulation under the given variant.
+func Run(procs int, v Variant, prm Params) (Result, error) {
+	prm, err := prm.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := cool.Config{Processors: procs}
+	if v == Base {
+		cfg.Sched.IgnoreHints = true
+	}
+	rt, err := cool.NewRuntime(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	ap := build(rt, prm, v == AffDistr)
+	err = rt.Run(func(ctx *cool.Ctx) {
+		for s := 0; s < prm.Steps; s++ {
+			ap.step(ctx, true)
+		}
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("barneshut %v: %w", v, err)
+	}
+	return Result{
+		Cycles:   rt.ElapsedCycles(),
+		Report:   rt.Report(),
+		Checksum: ap.checksum(),
+		Tasks:    rt.Report().Total.TasksRun,
+	}, nil
+}
+
+// RunSerial executes the identical computation in the main task.
+func RunSerial(prm Params) (Result, error) {
+	prm, err := prm.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		return Result{}, err
+	}
+	ap := build(rt, prm, false)
+	err = rt.Run(func(ctx *cool.Ctx) {
+		for s := 0; s < prm.Steps; s++ {
+			ap.step(ctx, false)
+		}
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("barneshut serial: %w", err)
+	}
+	return Result{
+		Cycles:   rt.ElapsedCycles(),
+		Report:   rt.Report(),
+		Checksum: ap.checksum(),
+	}, nil
+}

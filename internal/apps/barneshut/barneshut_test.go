@@ -1,0 +1,91 @@
+package barneshut
+
+import (
+	"math"
+	"testing"
+)
+
+func small() Params { return Params{Bodies: 256, Groups: 8, Steps: 2, Theta: 0.7, Seed: 5} }
+
+func TestSerialRuns(t *testing.T) {
+	res, err := RunSerial(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	if math.IsNaN(res.Checksum) || res.Checksum == 0 {
+		t.Fatalf("bad checksum %v", res.Checksum)
+	}
+}
+
+func TestParallelMatchesSerialBitwise(t *testing.T) {
+	// Forces are computed from a tree built identically each step and
+	// written to disjoint body blocks, so every variant and processor
+	// count must produce bitwise-identical positions.
+	ser, err := RunSerial(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range Variants {
+		for _, procs := range []int{1, 4, 8} {
+			res, err := Run(procs, v, small())
+			if err != nil {
+				t.Fatalf("%v/%d: %v", v, procs, err)
+			}
+			if res.Checksum != ser.Checksum {
+				t.Fatalf("%v/%d: checksum %v != serial %v", v, procs, res.Checksum, ser.Checksum)
+			}
+		}
+	}
+}
+
+func TestBodiesMove(t *testing.T) {
+	one, err := RunSerial(Params{Bodies: 256, Groups: 8, Steps: 1, Theta: 0.7, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := RunSerial(Params{Bodies: 256, Groups: 8, Steps: 2, Theta: 0.7, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Checksum == two.Checksum {
+		t.Fatal("positions did not change between steps; forces are not applied")
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	p := Params{Bodies: 1024, Groups: 32, Steps: 2, Theta: 0.7, Seed: 5}
+	ser, err := RunSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(8, AffDistr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := float64(ser.Cycles) / float64(par.Cycles); sp < 2 {
+		t.Fatalf("speedup on 8 procs = %.2f, want >= 2 (tree build is serial)", sp)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := RunSerial(Params{Bodies: 100, Groups: 32, Steps: 1, Theta: 0.7, Seed: 1}); err == nil {
+		t.Fatal("indivisible body count accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(4, AffDistr, small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(4, AffDistr, small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Checksum != b.Checksum {
+		t.Fatal("non-deterministic")
+	}
+}

@@ -1,0 +1,124 @@
+package barneshut
+
+import (
+	"math"
+	"testing"
+
+	cool "github.com/coolrts/cool"
+)
+
+func builtTree(t *testing.T, bodies int) *app {
+	t.Helper()
+	prm, err := Params{Bodies: bodies, Groups: 8, Steps: 1, Theta: 0.6, Seed: 4}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := build(rt, prm, false)
+	if err := rt.Run(func(ctx *cool.Ctx) { ap.buildTree(ctx) }); err != nil {
+		t.Fatal(err)
+	}
+	return ap
+}
+
+func TestTreeConservesMass(t *testing.T) {
+	ap := builtTree(t, 256)
+	root := ap.nodes[0]
+	if d := math.Abs(root.mass - 1.0); d > 1e-12 { // masses are 1/N each
+		t.Fatalf("root mass = %v, want 1 (±1e-12)", root.mass)
+	}
+}
+
+func TestTreeCentroidInsideUnitCube(t *testing.T) {
+	ap := builtTree(t, 256)
+	for i, nd := range ap.nodes {
+		if nd.mass == 0 {
+			continue
+		}
+		if nd.mx < 0 || nd.mx > 1 || nd.my < 0 || nd.my > 1 || nd.mz < 0 || nd.mz > 1 {
+			t.Fatalf("node %d centroid (%v,%v,%v) outside the unit cube", i, nd.mx, nd.my, nd.mz)
+		}
+	}
+}
+
+func TestTreeLeavesHoldEveryBody(t *testing.T) {
+	ap := builtTree(t, 256)
+	found := map[int]bool{}
+	for _, nd := range ap.nodes {
+		if nd.leaf && nd.body >= 0 {
+			if found[nd.body] {
+				t.Fatalf("body %d in two leaves", nd.body)
+			}
+			found[nd.body] = true
+		}
+	}
+	if len(found) != 256 {
+		t.Fatalf("leaves hold %d of 256 bodies", len(found))
+	}
+}
+
+func TestTreeInternalMassEqualsChildren(t *testing.T) {
+	ap := builtTree(t, 256)
+	for i, nd := range ap.nodes {
+		if nd.leaf {
+			continue
+		}
+		var sum float64
+		for _, c := range nd.children {
+			if c != 0 {
+				sum += ap.nodes[c].mass
+			}
+		}
+		if d := math.Abs(sum - nd.mass); d > 1e-12 {
+			t.Fatalf("node %d: children mass %v, node mass %v", i, sum, nd.mass)
+		}
+	}
+}
+
+func TestTreeNodeCountBounded(t *testing.T) {
+	ap := builtTree(t, 512)
+	// Each insertion splits at most a chain of cells; for random uniform
+	// bodies the tree stays comfortably under the 4N record budget.
+	if len(ap.nodes) > 4*512 {
+		t.Fatalf("tree has %d nodes for 512 bodies; exceeds the record budget", len(ap.nodes))
+	}
+}
+
+func TestForceIsFiniteAndNonzero(t *testing.T) {
+	ap := builtTree(t, 256)
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rt
+	// Reuse the app's runtime context by computing forces in a fresh run
+	// is not possible (tree belongs to ap); compute directly instead.
+	prm := ap.prm
+	rt2, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap2 := build(rt2, prm, false)
+	err = rt2.Run(func(ctx *cool.Ctx) {
+		ap2.buildTree(ctx)
+		var nonzero int
+		for bi := 0; bi < 32; bi++ {
+			ax, ay, az := ap2.force(ctx, bi)
+			if math.IsNaN(ax+ay+az) || math.IsInf(ax+ay+az, 0) {
+				t.Errorf("body %d: non-finite force", bi)
+			}
+			if ax != 0 || ay != 0 || az != 0 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 {
+			t.Error("all sampled forces are zero")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

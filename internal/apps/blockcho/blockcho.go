@@ -1,0 +1,413 @@
+// Package blockcho is the Block Cholesky case study (paper §6.4):
+// right-looking dense Cholesky factorization with the matrix stored as a
+// 2-D array of blocks. Tasks are per-block operations — potrf of a
+// diagonal block, triangular solves (trsm) of the blocks below it, and
+// rank-k updates (gemm) of trailing blocks — linked by counters guarded
+// by per-block monitors. Affinity hints collocate each task with the
+// block it writes (OBJECT) and group tasks reading a common source block
+// (TASK), and blocks are distributed round-robin across memories.
+package blockcho
+
+import (
+	"fmt"
+	"math"
+
+	cool "github.com/coolrts/cool"
+)
+
+// Variant selects the program version of Figure 16.
+type Variant int
+
+const (
+	// Base: blocks in one memory, hints ignored.
+	Base Variant = iota
+	// AffDistr: blocks distributed, affinity hints honoured.
+	AffDistr
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Base:
+		return "Base"
+	case AffDistr:
+		return "Affinity+Distr"
+	}
+	return "unknown"
+}
+
+// Variants lists the program versions in order.
+var Variants = []Variant{Base, AffDistr}
+
+// Params sizes the workload.
+type Params struct {
+	N int // matrix dimension
+	B int // block size
+}
+
+// DefaultParams returns the standard workload (12×12 blocks of 32).
+func DefaultParams() Params { return Params{N: 384, B: 32} }
+
+func (p Params) normalize() (Params, error) {
+	d := DefaultParams()
+	if p.N <= 0 {
+		p.N = d.N
+	}
+	if p.B <= 0 {
+		p.B = d.B
+	}
+	if p.N%p.B != 0 {
+		return p, fmt.Errorf("blockcho: N (%d) must be divisible by B (%d)", p.N, p.B)
+	}
+	return p, nil
+}
+
+// Result carries timing and correctness evidence.
+type Result struct {
+	Cycles  int64
+	Report  cool.Report
+	MaxDiff float64 // vs the unblocked host reference factor
+	Blocks  int
+	Tasks   int64
+}
+
+type app struct {
+	prm  Params
+	nb   int
+	blks []*cool.F64 // lower blocks, packed by blockIdx
+	mons []*cool.Monitor
+	rem  []int32 // outstanding prerequisites per block
+	done []bool  // trsm/potrf completed, guarded by colMon of its column
+	cols []*cool.Monitor
+}
+
+// blockIdx packs lower-triangular block coordinates (i >= j).
+func (ap *app) blockIdx(i, j int) int { return i*(i+1)/2 + j }
+
+func build(rt *cool.Runtime, prm Params, distribute bool) *app {
+	nb := prm.N / prm.B
+	ap := &app{prm: prm, nb: nb}
+	nblk := nb * (nb + 1) / 2
+	ap.blks = make([]*cool.F64, nblk)
+	ap.mons = make([]*cool.Monitor, nblk)
+	ap.rem = make([]int32, nblk)
+	ap.done = make([]bool, nblk)
+	ap.cols = make([]*cool.Monitor, nb)
+	for j := 0; j < nb; j++ {
+		ap.cols[j] = rt.NewMonitor(0)
+	}
+	for i := 0; i < nb; i++ {
+		for j := 0; j <= i; j++ {
+			id := ap.blockIdx(i, j)
+			proc := 0
+			if distribute {
+				proc = id % rt.Processors()
+			}
+			arr := rt.NewF64Pages(prm.B*prm.B, proc)
+			ap.blks[id] = arr
+			ap.mons[id] = rt.NewMonitor(arr.Base)
+			// Prerequisites: j gemm updates, plus potrf(j) for
+			// off-diagonal blocks.
+			ap.rem[id] = int32(j)
+			if i != j {
+				ap.rem[id]++
+			}
+			// Initial values: symmetric diagonally dominant matrix
+			// a[r][c] = N for r==c else 1/(1+|r-c|).
+			for br := 0; br < prm.B; br++ {
+				for bc := 0; bc < prm.B; bc++ {
+					r, c := i*prm.B+br, j*prm.B+bc
+					arr.Data[br*prm.B+bc] = element(prm.N, r, c)
+				}
+			}
+		}
+	}
+	return ap
+}
+
+func element(n, r, c int) float64 {
+	if r == c {
+		return float64(n)
+	}
+	d := r - c
+	if d < 0 {
+		d = -d
+	}
+	return 1 / float64(1+d)
+}
+
+// readBlock charges a read of a whole block.
+func readBlock(ctx *cool.Ctx, a *cool.F64) {
+	ctx.Access(a.Base, int64(a.Len())*8, false)
+}
+
+// writeBlock charges a write of a whole block.
+func writeBlock(ctx *cool.Ctx, a *cool.F64) {
+	ctx.Access(a.Base, int64(a.Len())*8, true)
+}
+
+// potrf factors a diagonal block in place (dense Cholesky).
+func (ap *app) potrf(ctx *cool.Ctx, j int) {
+	b := ap.prm.B
+	a := ap.blks[ap.blockIdx(j, j)].Data
+	for k := 0; k < b; k++ {
+		d := a[k*b+k]
+		if d <= 0 || math.IsNaN(d) {
+			panic(fmt.Sprintf("blockcho: not positive definite at block %d, pivot %g", j, d))
+		}
+		d = math.Sqrt(d)
+		a[k*b+k] = d
+		for i := k + 1; i < b; i++ {
+			a[i*b+k] /= d
+		}
+		for i := k + 1; i < b; i++ {
+			lik := a[i*b+k]
+			for c := k + 1; c <= i; c++ {
+				a[i*b+c] -= lik * a[c*b+k]
+			}
+		}
+		// Zero the strict upper triangle of the factored block.
+		for c := k + 1; c < b; c++ {
+			a[k*b+c] = 0
+		}
+	}
+	writeBlock(ctx, ap.blks[ap.blockIdx(j, j)])
+	ctx.Compute(int64(b) * int64(b) * int64(b) / 3)
+}
+
+// trsm solves X · L(j,j)ᵀ = A(i,j) in place: X[r][c] depends on the
+// already-computed X[r][<c].
+func (ap *app) trsm(ctx *cool.Ctx, i, j int) {
+	b := ap.prm.B
+	l := ap.blks[ap.blockIdx(j, j)].Data
+	x := ap.blks[ap.blockIdx(i, j)].Data
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			s := x[r*b+c]
+			for k := 0; k < c; k++ {
+				s -= x[r*b+k] * l[c*b+k]
+			}
+			x[r*b+c] = s / l[c*b+c]
+		}
+	}
+	readBlock(ctx, ap.blks[ap.blockIdx(j, j)])
+	writeBlock(ctx, ap.blks[ap.blockIdx(i, j)])
+	ctx.Compute(int64(b) * int64(b) * int64(b))
+}
+
+// gemm applies A(i,j) -= L(i,k) · L(j,k)ᵀ.
+func (ap *app) gemm(ctx *cool.Ctx, i, j, k int) {
+	b := ap.prm.B
+	s1 := ap.blks[ap.blockIdx(i, k)].Data
+	s2 := ap.blks[ap.blockIdx(j, k)].Data
+	d := ap.blks[ap.blockIdx(i, j)].Data
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			if i == j && c > r {
+				continue // only the lower triangle of a diagonal block
+			}
+			s := 0.0
+			for t := 0; t < b; t++ {
+				s += s1[r*b+t] * s2[c*b+t]
+			}
+			d[r*b+c] -= s
+		}
+	}
+	readBlock(ctx, ap.blks[ap.blockIdx(i, k)])
+	readBlock(ctx, ap.blks[ap.blockIdx(j, k)])
+	writeBlock(ctx, ap.blks[ap.blockIdx(i, j)])
+	ctx.Compute(2 * int64(b) * int64(b) * int64(b))
+}
+
+// arrive decrements block (i,j)'s prerequisite count (the caller holds
+// its monitor) and spawns its operation when ready.
+func (ap *app) arrive(c *cool.Ctx, i, j int) {
+	id := ap.blockIdx(i, j)
+	ap.rem[id]--
+	if ap.rem[id] != 0 {
+		return
+	}
+	if i == j {
+		ap.spawnPotrf(c, j)
+	} else {
+		ap.spawnTrsm(c, i, j)
+	}
+}
+
+// spawnPotrf launches the diagonal factorization of column j. On
+// completion it releases every block below in the column.
+func (ap *app) spawnPotrf(ctx *cool.Ctx, j int) {
+	id := ap.blockIdx(j, j)
+	ctx.Spawn("potrf", func(c *cool.Ctx) {
+		ap.potrf(c, j)
+		c.Lock(ap.cols[j])
+		ap.done[id] = true
+		c.Unlock(ap.cols[j])
+		for i := j + 1; i < ap.nb; i++ {
+			ap.spawnNotify(c, i, j)
+		}
+	}, cool.OnObject(ap.blks[id].Base))
+}
+
+// spawnNotify delivers potrf(j)'s completion to block (i,j) under its
+// monitor (a zero-work mutex task, keeping all counter updates atomic).
+func (ap *app) spawnNotify(ctx *cool.Ctx, i, j int) {
+	id := ap.blockIdx(i, j)
+	ctx.Spawn("notify", func(c *cool.Ctx) {
+		ap.arrive(c, i, j)
+	}, cool.ObjectAffinity(ap.blks[id].Base), cool.WithMutex(ap.mons[id]))
+}
+
+// spawnTrsm launches the triangular solve of block (i,j); on completion
+// it spawns the gemm updates pairing it with every finished trsm of the
+// column.
+func (ap *app) spawnTrsm(ctx *cool.Ctx, i, j int) {
+	id := ap.blockIdx(i, j)
+	diag := ap.blockIdx(j, j)
+	ctx.Spawn("trsm", func(c *cool.Ctx) {
+		ap.trsm(c, i, j)
+		c.Lock(ap.cols[j])
+		ap.done[id] = true
+		var partners []int
+		for i2 := j + 1; i2 < ap.nb; i2++ {
+			if ap.done[ap.blockIdx(i2, j)] {
+				partners = append(partners, i2)
+			}
+		}
+		c.Unlock(ap.cols[j])
+		for _, i2 := range partners {
+			hi, lo := i, i2
+			if hi < lo {
+				hi, lo = lo, hi
+			}
+			ap.spawnGemm(c, hi, lo, j)
+		}
+	},
+		cool.TaskAffinity(ap.blks[diag].Base),
+		cool.ObjectAffinity(ap.blks[id].Base),
+	)
+}
+
+// spawnGemm launches the update of block (i,j) from column k: a mutex
+// function on the destination with affinity(src, TASK) and
+// affinity(dst, OBJECT), mirroring Panel Cholesky's UpdatePanel.
+func (ap *app) spawnGemm(ctx *cool.Ctx, i, j, k int) {
+	id := ap.blockIdx(i, j)
+	src := ap.blockIdx(i, k)
+	ctx.Spawn("gemm", func(c *cool.Ctx) {
+		ap.gemm(c, i, j, k)
+		ap.arrive(c, i, j)
+	},
+		cool.TaskAffinity(ap.blks[src].Base),
+		cool.ObjectAffinity(ap.blks[id].Base),
+		cool.WithMutex(ap.mons[id]),
+	)
+}
+
+// Run factors the workload on procs processors under the given variant.
+func Run(procs int, v Variant, prm Params) (Result, error) {
+	prm, err := prm.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := cool.Config{Processors: procs}
+	if v == Base {
+		cfg.Sched.IgnoreHints = true
+	}
+	rt, err := cool.NewRuntime(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	ap := build(rt, prm, v == AffDistr)
+	err = rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			ap.spawnPotrf(ctx, 0)
+		})
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("blockcho %v: %w", v, err)
+	}
+	return ap.finish(rt)
+}
+
+// RunSerial performs the same blocked factorization sequentially.
+func RunSerial(prm Params) (Result, error) {
+	prm, err := prm.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		return Result{}, err
+	}
+	ap := build(rt, prm, false)
+	err = rt.Run(func(ctx *cool.Ctx) {
+		for k := 0; k < ap.nb; k++ {
+			ap.potrf(ctx, k)
+			for i := k + 1; i < ap.nb; i++ {
+				ap.trsm(ctx, i, k)
+			}
+			for j := k + 1; j < ap.nb; j++ {
+				for i := j; i < ap.nb; i++ {
+					ap.gemm(ctx, i, j, k)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("blockcho serial: %w", err)
+	}
+	return ap.finish(rt)
+}
+
+// finish compares the blocked factor against an unblocked host-side
+// Cholesky of the same matrix.
+func (ap *app) finish(rt *cool.Runtime) (Result, error) {
+	n, b := ap.prm.N, ap.prm.B
+	ref := make([]float64, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c <= r; c++ {
+			ref[r*n+c] = element(n, r, c)
+		}
+	}
+	for k := 0; k < n; k++ {
+		d := math.Sqrt(ref[k*n+k])
+		ref[k*n+k] = d
+		for i := k + 1; i < n; i++ {
+			ref[i*n+k] /= d
+		}
+		for i := k + 1; i < n; i++ {
+			for c := k + 1; c <= i; c++ {
+				ref[i*n+c] -= ref[i*n+k] * ref[c*n+k]
+			}
+		}
+	}
+	var maxDiff float64
+	for i := 0; i < ap.nb; i++ {
+		for j := 0; j <= i; j++ {
+			blk := ap.blks[ap.blockIdx(i, j)].Data
+			for br := 0; br < b; br++ {
+				for bc := 0; bc < b; bc++ {
+					r, c := i*b+br, j*b+bc
+					if c > r {
+						continue
+					}
+					if d := math.Abs(blk[br*b+bc] - ref[r*n+c]); d > maxDiff {
+						maxDiff = d
+					}
+				}
+			}
+		}
+	}
+	res := Result{
+		Cycles:  rt.ElapsedCycles(),
+		Report:  rt.Report(),
+		MaxDiff: maxDiff,
+		Blocks:  len(ap.blks),
+		Tasks:   rt.Report().Total.TasksRun,
+	}
+	if maxDiff > 1e-8 {
+		return res, fmt.Errorf("blockcho: factor differs from reference by %g", maxDiff)
+	}
+	return res, nil
+}

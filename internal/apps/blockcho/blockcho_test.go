@@ -1,0 +1,83 @@
+package blockcho
+
+import "testing"
+
+func small() Params { return Params{N: 96, B: 16} }
+
+func TestSerialFactors(t *testing.T) {
+	res, err := RunSerial(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDiff > 1e-10 {
+		t.Fatalf("serial blocked factor differs from unblocked by %g", res.MaxDiff)
+	}
+	if res.Blocks != 21 {
+		t.Fatalf("blocks = %d, want 21", res.Blocks)
+	}
+}
+
+func TestParallelCorrectAllVariants(t *testing.T) {
+	for _, v := range Variants {
+		for _, procs := range []int{1, 4, 8} {
+			res, err := Run(procs, v, small())
+			if err != nil {
+				t.Fatalf("%v/%d: %v", v, procs, err)
+			}
+			// potrf + trsm + notify + gemm tasks must all have run.
+			if res.Tasks < 21 {
+				t.Fatalf("%v/%d: only %d tasks", v, procs, res.Tasks)
+			}
+		}
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	p := Params{N: 256, B: 32}
+	ser, err := RunSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(8, AffDistr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := float64(ser.Cycles) / float64(par.Cycles); sp < 2.5 {
+		t.Fatalf("speedup on 8 procs = %.2f, want >= 2.5", sp)
+	}
+}
+
+func TestAffinityNotWorseThanBase(t *testing.T) {
+	p := Params{N: 256, B: 32}
+	base, err := Run(16, Base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff, err := Run(16, AffDistr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(aff.Cycles) > 1.05*float64(base.Cycles) {
+		t.Fatalf("affinity (%d) worse than base (%d)", aff.Cycles, base.Cycles)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := RunSerial(Params{N: 100, B: 32}); err == nil {
+		t.Fatal("indivisible N accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(4, AffDistr, small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(4, AffDistr, small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Fatal("non-deterministic")
+	}
+}

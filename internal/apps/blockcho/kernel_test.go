@@ -1,0 +1,107 @@
+package blockcho
+
+import (
+	"math"
+	"testing"
+
+	cool "github.com/coolrts/cool"
+)
+
+// kernelApp builds a tiny 2×2-block app for kernel-level checks.
+func kernelApp(t *testing.T) (*app, *cool.Runtime) {
+	t.Helper()
+	prm, err := Params{N: 8, B: 4}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return build(rt, prm, false), rt
+}
+
+func TestPotrfFactorsDiagonalBlock(t *testing.T) {
+	ap, rt := kernelApp(t)
+	b := ap.prm.B
+	orig := make([]float64, b*b)
+	copy(orig, ap.blks[ap.blockIdx(0, 0)].Data)
+	err := rt.Run(func(ctx *cool.Ctx) { ap.potrf(ctx, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ap.blks[ap.blockIdx(0, 0)].Data
+	// L Lᵀ must reproduce the original block.
+	for r := 0; r < b; r++ {
+		for c := 0; c <= r; c++ {
+			var s float64
+			for k := 0; k <= c; k++ {
+				s += l[r*b+k] * l[c*b+k]
+			}
+			if d := math.Abs(s - orig[r*b+c]); d > 1e-12 {
+				t.Fatalf("LLᵀ[%d][%d] = %v, want %v", r, c, s, orig[r*b+c])
+			}
+		}
+	}
+	// Strict upper triangle zeroed.
+	for r := 0; r < b; r++ {
+		for c := r + 1; c < b; c++ {
+			if l[r*b+c] != 0 {
+				t.Fatalf("upper entry (%d,%d) = %v", r, c, l[r*b+c])
+			}
+		}
+	}
+}
+
+func TestTrsmSolvesAgainstDiagonal(t *testing.T) {
+	ap, rt := kernelApp(t)
+	b := ap.prm.B
+	orig := make([]float64, b*b)
+	copy(orig, ap.blks[ap.blockIdx(1, 0)].Data)
+	err := rt.Run(func(ctx *cool.Ctx) {
+		ap.potrf(ctx, 0)
+		ap.trsm(ctx, 1, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ap.blks[ap.blockIdx(0, 0)].Data
+	x := ap.blks[ap.blockIdx(1, 0)].Data
+	// X · Lᵀ must reproduce the original off-diagonal block.
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			var s float64
+			for k := 0; k <= c; k++ {
+				s += x[r*b+k] * l[c*b+k]
+			}
+			if d := math.Abs(s - orig[r*b+c]); d > 1e-12 {
+				t.Fatalf("XLᵀ[%d][%d] = %v, want %v", r, c, s, orig[r*b+c])
+			}
+		}
+	}
+}
+
+func TestGemmSubtractsOuterProduct(t *testing.T) {
+	ap, rt := kernelApp(t)
+	b := ap.prm.B
+	s1 := ap.blks[ap.blockIdx(1, 0)].Data
+	dstID := ap.blockIdx(1, 1)
+	before := make([]float64, b*b)
+	copy(before, ap.blks[dstID].Data)
+	err := rt.Run(func(ctx *cool.Ctx) { ap.gemm(ctx, 1, 1, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ap.blks[dstID].Data
+	for r := 0; r < b; r++ {
+		for c := 0; c <= r; c++ { // diagonal block: lower triangle only
+			var s float64
+			for k := 0; k < b; k++ {
+				s += s1[r*b+k] * s1[c*b+k]
+			}
+			if d := math.Abs(after[r*b+c] - (before[r*b+c] - s)); d > 1e-12 {
+				t.Fatalf("gemm[%d][%d] wrong by %v", r, c, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package gauss is the paper's running Gaussian elimination example
+// (Figure 3): column-oriented elimination where update(dst, src)
+// subtracts a multiple of a finished source column from a destination
+// column. The schedule the paper derives — memory locality on the
+// destination column (OBJECT affinity, columns distributed round-robin)
+// and cache locality on the source column (TASK affinity, updates with a
+// common source executed back to back) — is expressed with the
+// affinity(src, TASK) + affinity(dst, OBJECT) pair, exactly as in the
+// figure.
+package gauss
+
+import (
+	"fmt"
+	"math"
+
+	cool "github.com/coolrts/cool"
+	"github.com/coolrts/cool/internal/machine"
+)
+
+// Variant selects the affinity ablation.
+type Variant int
+
+const (
+	// Base: hints ignored, columns in one memory.
+	Base Variant = iota
+	// ObjectOnly: OBJECT affinity on the destination column only.
+	ObjectOnly
+	// TaskObject: the paper's full hint pair (Figure 3).
+	TaskObject
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Base:
+		return "Base"
+	case ObjectOnly:
+		return "Object"
+	case TaskObject:
+		return "Task+Object"
+	}
+	return "unknown"
+}
+
+// Variants lists the ablation points in order.
+var Variants = []Variant{Base, ObjectOnly, TaskObject}
+
+// Params sizes the workload.
+type Params struct {
+	N int // matrix dimension
+	// Uniform selects a bus-based uniform-memory machine instead of the
+	// clustered DASH model (the related-work comparison of §7: on such a
+	// machine affinity can only pay through cache reuse).
+	Uniform bool
+}
+
+// DefaultParams returns the standard workload.
+func DefaultParams() Params { return Params{N: 256} }
+
+func (p Params) normalize() Params {
+	if p.N <= 0 {
+		p.N = DefaultParams().N
+	}
+	return p
+}
+
+// Result carries timing and correctness evidence.
+type Result struct {
+	Cycles   int64
+	Report   cool.Report
+	Checksum float64 // bitwise-comparable digest of the factored matrix
+	Tasks    int64
+}
+
+type app struct {
+	prm  Params
+	cols []*cool.F64
+}
+
+func build(rt *cool.Runtime, prm Params, distribute bool) *app {
+	ap := &app{prm: prm, cols: make([]*cool.F64, prm.N)}
+	for j := range ap.cols {
+		proc := 0
+		if distribute {
+			proc = j % rt.Processors()
+		}
+		col := rt.NewF64Pages(prm.N, proc)
+		for i := 0; i < prm.N; i++ {
+			if i == j {
+				col.Data[i] = float64(prm.N)
+			} else {
+				col.Data[i] = float64((i*31+j*17)%7) - 3
+			}
+		}
+		ap.cols[j] = col
+	}
+	return ap
+}
+
+// update eliminates row k of destination column j using source column k,
+// recording the multiplier in place (forming L below the diagonal).
+func (ap *app) update(ctx *cool.Ctx, j, k int) {
+	n := ap.prm.N
+	src := ap.cols[k]
+	dst := ap.cols[j]
+	s := ctx.ReadF64Range(src, k, n)
+	d := ctx.WriteF64Range(dst, k, n)
+	m := d[0] / s[0]
+	d[0] = m
+	for i := 1; i < len(d); i++ {
+		d[i] -= m * s[i]
+	}
+	ctx.Compute(int64(2 * (n - k)))
+}
+
+// run performs the elimination: one barrier-separated step per pivot
+// column, with an update task per remaining column.
+func (ap *app) run(ctx *cool.Ctx, v Variant) {
+	n := ap.prm.N
+	for k := 0; k < n-1; k++ {
+		src := ap.cols[k]
+		ctx.WaitFor(func() {
+			for j := k + 1; j < n; j++ {
+				j := j
+				dst := ap.cols[j]
+				opts := []cool.SpawnOpt{}
+				switch v {
+				case ObjectOnly:
+					opts = append(opts, cool.ObjectAffinity(dst.Base))
+				case TaskObject:
+					opts = append(opts, cool.TaskAffinity(src.Base), cool.ObjectAffinity(dst.Base))
+				}
+				ctx.Spawn("update", func(c *cool.Ctx) { ap.update(c, j, k) }, opts...)
+			}
+		})
+	}
+}
+
+func (ap *app) checksum() float64 {
+	var s float64
+	for j, col := range ap.cols {
+		for i, v := range col.Data {
+			s += v * float64((i+2*j)%17)
+		}
+	}
+	return s
+}
+
+func (ap *app) validate() error {
+	for j, col := range ap.cols {
+		for _, v := range col.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("gauss: non-finite value in column %d", j)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the elimination under the given variant.
+func Run(procs int, v Variant, prm Params) (Result, error) {
+	prm = prm.normalize()
+	cfg := cool.Config{Processors: procs}
+	if prm.Uniform {
+		mc := machine.UniformBus(procs)
+		cfg.Machine = &mc
+	}
+	if v == Base {
+		cfg.Sched.IgnoreHints = true
+	}
+	rt, err := cool.NewRuntime(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	ap := build(rt, prm, v != Base)
+	if err := rt.Run(func(ctx *cool.Ctx) { ap.run(ctx, v) }); err != nil {
+		return Result{}, fmt.Errorf("gauss %v: %w", v, err)
+	}
+	if err := ap.validate(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Cycles:   rt.ElapsedCycles(),
+		Report:   rt.Report(),
+		Checksum: ap.checksum(),
+		Tasks:    rt.Report().Total.TasksRun,
+	}, nil
+}
+
+// RunSerial performs the identical elimination in the main task.
+func RunSerial(prm Params) (Result, error) {
+	prm = prm.normalize()
+	cfg := cool.Config{Processors: 1}
+	if prm.Uniform {
+		mc := machine.UniformBus(1)
+		cfg.Machine = &mc
+	}
+	rt, err := cool.NewRuntime(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	ap := build(rt, prm, false)
+	err = rt.Run(func(ctx *cool.Ctx) {
+		for k := 0; k < prm.N-1; k++ {
+			for j := k + 1; j < prm.N; j++ {
+				ap.update(ctx, j, k)
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("gauss serial: %w", err)
+	}
+	if err := ap.validate(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Cycles:   rt.ElapsedCycles(),
+		Report:   rt.Report(),
+		Checksum: ap.checksum(),
+	}, nil
+}

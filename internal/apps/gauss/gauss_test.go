@@ -1,0 +1,76 @@
+package gauss
+
+import "testing"
+
+func small() Params { return Params{N: 48} }
+
+func TestSerialRuns(t *testing.T) {
+	res, err := RunSerial(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Checksum == 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestParallelMatchesSerialBitwise(t *testing.T) {
+	// Steps are barrier-separated and each update owns its destination
+	// column, so results must be bitwise identical to serial.
+	ser, err := RunSerial(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range Variants {
+		for _, procs := range []int{1, 4, 8} {
+			res, err := Run(procs, v, small())
+			if err != nil {
+				t.Fatalf("%v/%d: %v", v, procs, err)
+			}
+			if res.Checksum != ser.Checksum {
+				t.Fatalf("%v/%d: checksum mismatch", v, procs)
+			}
+		}
+	}
+}
+
+func TestTaskCount(t *testing.T) {
+	p := small()
+	res, err := Run(4, TaskObject, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(p.N * (p.N - 1) / 2)
+	if res.Tasks < want {
+		t.Fatalf("tasks = %d, want >= %d", res.Tasks, want)
+	}
+}
+
+func TestAffinitySpeedsUp(t *testing.T) {
+	p := Params{N: 128}
+	base, err := Run(8, Base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(8, TaskObject, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(full.Cycles) > 1.02*float64(base.Cycles) {
+		t.Fatalf("Task+Object (%d) not competitive with Base (%d)", full.Cycles, base.Cycles)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(4, TaskObject, small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(4, TaskObject, small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Fatal("non-deterministic")
+	}
+}

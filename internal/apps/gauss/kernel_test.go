@@ -1,0 +1,77 @@
+package gauss
+
+import (
+	"math"
+	"testing"
+
+	cool "github.com/coolrts/cool"
+)
+
+// TestEliminationReducesToReference checks the column-oriented update
+// sequence against a plain row-oriented Gaussian elimination of the same
+// matrix.
+func TestEliminationReducesToReference(t *testing.T) {
+	n := 12
+	prm := Params{N: n}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := build(rt, prm, false)
+
+	// Reference: identical math on a host copy, row-oriented loops.
+	ref := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		ref[j] = make([]float64, n)
+		copy(ref[j], ap.cols[j].Data)
+	}
+	for k := 0; k < n-1; k++ {
+		for j := k + 1; j < n; j++ {
+			m := ref[j][k] / ref[k][k]
+			ref[j][k] = m
+			for i := k + 1; i < n; i++ {
+				ref[j][i] -= m * ref[k][i]
+			}
+		}
+	}
+
+	err = rt.Run(func(ctx *cool.Ctx) {
+		for k := 0; k < n-1; k++ {
+			for j := k + 1; j < n; j++ {
+				ap.update(ctx, j, k)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if d := math.Abs(ap.cols[j].Data[i] - ref[j][i]); d > 1e-12 {
+				t.Fatalf("col %d row %d: %v vs reference %v", j, i, ap.cols[j].Data[i], ref[j][i])
+			}
+		}
+	}
+}
+
+// TestUpdateZeroesTargetRowConceptually: after update(j,k), the stored
+// multiplier reproduces the eliminated value.
+func TestUpdateStoresMultiplier(t *testing.T) {
+	prm := Params{N: 8}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := build(rt, prm, false)
+	origDst := ap.cols[3].Data[0]
+	origSrc := ap.cols[0].Data[0]
+	err = rt.Run(func(ctx *cool.Ctx) {
+		ap.update(ctx, 3, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ap.cols[3].Data[0], origDst/origSrc; got != want {
+		t.Fatalf("stored multiplier %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,328 @@
+// Package locusroute is the LocusRoute case study (paper §6.2): a
+// standard-cell router that iteratively rips up and re-routes wires,
+// evaluating candidate routes against a shared CostArray of per-cell
+// congestion counts. Locality lives in the CostArray: wires whose pins
+// fall in the same geographic region touch the same part of the array, so
+// the COOL program (Figure 9) assigns each region to a processor and
+// routes a region's wires there via processor affinity; distributing the
+// CostArray regions across memories converts the remaining misses from
+// remote to local.
+//
+// As in the paper, the input is a synthetic dense circuit: wires
+// clustered within vertical regions of the array, with a fraction
+// spanning neighbouring regions.
+package locusroute
+
+import (
+	"fmt"
+	"math/rand"
+
+	cool "github.com/coolrts/cool"
+)
+
+// Variant selects the program version of Figure 10.
+type Variant int
+
+const (
+	// Base: wire tasks scheduled round-robin without regard for locality.
+	Base Variant = iota
+	// Affinity: processor affinity by the wire's CostArray region.
+	Affinity
+	// AffinityDistr: Affinity plus physical distribution of the
+	// CostArray regions across the processors' memories.
+	AffinityDistr
+)
+
+// String names the variant as in the figure legend.
+func (v Variant) String() string {
+	switch v {
+	case Base:
+		return "Base"
+	case Affinity:
+		return "Affinity"
+	case AffinityDistr:
+		return "Affinity+ObjectDistr"
+	}
+	return "unknown"
+}
+
+// Variants lists the program versions in order.
+var Variants = []Variant{Base, Affinity, AffinityDistr}
+
+// Params sizes the synthetic circuit.
+type Params struct {
+	W, H       int     // routing cells
+	Regions    int     // vertical strips of the CostArray
+	WiresPer   int     // wires per region
+	CrossFrac  float64 // fraction of wires spanning two regions
+	Iterations int
+	Seed       int64
+}
+
+// DefaultParams returns the standard synthetic circuit.
+func DefaultParams() Params {
+	return Params{W: 512, H: 64, Regions: 32, WiresPer: 24, CrossFrac: 0.1, Iterations: 3, Seed: 7}
+}
+
+func (p Params) normalize() (Params, error) {
+	d := DefaultParams()
+	if p.W <= 0 {
+		p.W = d.W
+	}
+	if p.H <= 0 {
+		p.H = d.H
+	}
+	if p.Regions <= 0 {
+		p.Regions = d.Regions
+	}
+	if p.WiresPer <= 0 {
+		p.WiresPer = d.WiresPer
+	}
+	if p.CrossFrac < 0 {
+		p.CrossFrac = d.CrossFrac
+	}
+	if p.Iterations <= 0 {
+		p.Iterations = d.Iterations
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	if p.W%p.Regions != 0 {
+		return p, fmt.Errorf("locusroute: W (%d) must be divisible by Regions (%d)", p.W, p.Regions)
+	}
+	return p, nil
+}
+
+// wire is one two-pin wire; route remembers the laid path for rip-up.
+type wire struct {
+	x1, y1, x2, y2 int
+	routed         bool
+	horizFirst     bool // which L-shape is laid
+}
+
+// Result carries timing, correctness evidence and the routing quality.
+type Result struct {
+	Cycles     int64
+	Report     cool.Report
+	TotalCost  int64 // sum over cells of h²+v² (congestion metric)
+	Wires      int
+	Consistent bool // CostArray rebuilt from final routes matches
+	Tasks      int64
+}
+
+type app struct {
+	prm   Params
+	cost  *cool.I64 // column-major: cell (x,y) = (x*H+y)*2 { +0: h, +1: v }
+	wires []wire
+}
+
+func generate(prm Params) []wire {
+	rng := rand.New(rand.NewSource(prm.Seed))
+	strip := prm.W / prm.Regions
+	var wires []wire
+	for r := 0; r < prm.Regions; r++ {
+		x0 := r * strip
+		for i := 0; i < prm.WiresPer; i++ {
+			w := wire{}
+			w.x1 = x0 + rng.Intn(strip)
+			w.y1 = rng.Intn(prm.H)
+			if rng.Float64() < prm.CrossFrac && r+1 < prm.Regions {
+				w.x2 = x0 + strip + rng.Intn(strip) // spans next region
+			} else {
+				w.x2 = x0 + rng.Intn(strip)
+			}
+			w.y2 = rng.Intn(prm.H)
+			wires = append(wires, w)
+		}
+	}
+	return wires
+}
+
+func build(rt *cool.Runtime, prm Params, distribute bool) *app {
+	a := &app{prm: prm, wires: generate(prm)}
+	a.cost = rt.NewI64Pages(prm.W*prm.H*2, 0)
+	if distribute {
+		strip := prm.W / prm.Regions
+		bytesPerStrip := int64(strip * prm.H * 2 * 8)
+		for r := 0; r < prm.Regions; r++ {
+			rt.Migrate(a.cost.Addr(r*strip*prm.H*2), bytesPerStrip, r%rt.Processors())
+		}
+	}
+	return a
+}
+
+// region returns the CostArray region of the wire's midpoint (the
+// paper's Region(CurrentWire) function).
+func (ap *app) region(w *wire) int {
+	mid := (w.x1 + w.x2) / 2
+	return mid / (ap.prm.W / ap.prm.Regions)
+}
+
+// cellIdx returns the element index of cell (x, y).
+func (ap *app) cellIdx(x, y int) int { return (x*ap.prm.H + y) * 2 }
+
+// pathCost evaluates one L-shaped candidate (reading the CostArray).
+func (ap *app) pathCost(ctx *cool.Ctx, w *wire, horizFirst bool) int64 {
+	var total int64
+	ap.walk(w, horizFirst, func(idx int, horiz bool) {
+		ctx.Access(ap.cost.Addr(idx), 16, false)
+		off := 0
+		if !horiz {
+			off = 1
+		}
+		total += 1 + ap.cost.Data[idx+off]
+		ctx.Compute(3)
+	})
+	return total
+}
+
+// lay adds (delta=+1) or rips (delta=-1) the wire's chosen route.
+func (ap *app) lay(ctx *cool.Ctx, w *wire, delta int64) {
+	ap.walk(w, w.horizFirst, func(idx int, horiz bool) {
+		off := 0
+		if !horiz {
+			off = 1
+		}
+		ctx.Access(ap.cost.Addr(idx+off), 8, true)
+		ap.cost.Data[idx+off] += delta
+		ctx.Compute(1)
+	})
+}
+
+// walk visits the cells of one L-shaped route: the horizontal leg at the
+// first pin's row and the vertical leg at the second pin's column (or the
+// transpose when horizFirst is false).
+func (ap *app) walk(w *wire, horizFirst bool, visit func(idx int, horiz bool)) {
+	x1, y1, x2, y2 := w.x1, w.y1, w.x2, w.y2
+	if !horizFirst {
+		// Vertical first: equivalent to the transposed corner.
+		// Vertical leg at x1 from y1 to y2, then horizontal at y2.
+		for y := min(y1, y2); y <= max(y1, y2); y++ {
+			visit(ap.cellIdx(x1, y), false)
+		}
+		for x := min(x1, x2); x <= max(x1, x2); x++ {
+			visit(ap.cellIdx(x, y2), true)
+		}
+		return
+	}
+	for x := min(x1, x2); x <= max(x1, x2); x++ {
+		visit(ap.cellIdx(x, y1), true)
+	}
+	for y := min(y1, y2); y <= max(y1, y2); y++ {
+		visit(ap.cellIdx(x2, y), false)
+	}
+}
+
+// route rips up the wire's previous path, evaluates both L-shapes, and
+// lays the cheaper one (the paper's Route() wire task).
+func (ap *app) route(ctx *cool.Ctx, w *wire) {
+	if w.routed {
+		ap.lay(ctx, w, -1)
+		w.routed = false
+	}
+	ca := ap.pathCost(ctx, w, true)
+	cb := ap.pathCost(ctx, w, false)
+	w.horizFirst = ca <= cb
+	w.routed = true
+	ap.lay(ctx, w, +1)
+}
+
+// iteration routes every wire once inside a waitfor.
+func (ap *app) iteration(ctx *cool.Ctx, procs int) {
+	ctx.WaitFor(func() {
+		for i := range ap.wires {
+			w := &ap.wires[i]
+			ctx.Spawn("route", func(c *cool.Ctx) { ap.route(c, w) },
+				cool.OnProcessor(ap.region(w)%procs))
+		}
+	})
+}
+
+// Run executes the router under the given variant.
+func Run(procs int, v Variant, prm Params) (Result, error) {
+	prm, err := prm.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := cool.Config{Processors: procs}
+	if v == Base {
+		cfg.Sched.IgnoreHints = true
+	}
+	rt, err := cool.NewRuntime(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	ap := build(rt, prm, v == AffinityDistr)
+	err = rt.Run(func(ctx *cool.Ctx) {
+		for it := 0; it < prm.Iterations; it++ {
+			ap.iteration(ctx, procs)
+		}
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("locusroute %v: %w", v, err)
+	}
+	return ap.finish(rt), nil
+}
+
+// RunSerial routes all wires sequentially in the main task.
+func RunSerial(prm Params) (Result, error) {
+	prm, err := prm.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		return Result{}, err
+	}
+	ap := build(rt, prm, false)
+	err = rt.Run(func(ctx *cool.Ctx) {
+		for it := 0; it < prm.Iterations; it++ {
+			for i := range ap.wires {
+				ap.route(ctx, &ap.wires[i])
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("locusroute serial: %w", err)
+	}
+	return ap.finish(rt), nil
+}
+
+// finish verifies that the incremental CostArray equals one rebuilt from
+// the final routes, and computes the congestion metric.
+func (ap *app) finish(rt *cool.Runtime) Result {
+	rebuilt := make([]int64, len(ap.cost.Data))
+	for i := range ap.wires {
+		w := &ap.wires[i]
+		if !w.routed {
+			continue
+		}
+		ap.walk(w, w.horizFirst, func(idx int, horiz bool) {
+			off := 0
+			if !horiz {
+				off = 1
+			}
+			rebuilt[idx+off]++
+		})
+	}
+	consistent := true
+	for i := range rebuilt {
+		if rebuilt[i] != ap.cost.Data[i] {
+			consistent = false
+			break
+		}
+	}
+	var total int64
+	for i := 0; i < len(ap.cost.Data); i += 2 {
+		h, v := ap.cost.Data[i], ap.cost.Data[i+1]
+		total += h*h + v*v
+	}
+	return Result{
+		Cycles:     rt.ElapsedCycles(),
+		Report:     rt.Report(),
+		TotalCost:  total,
+		Wires:      len(ap.wires),
+		Consistent: consistent,
+		Tasks:      rt.Report().Total.TasksRun,
+	}
+}

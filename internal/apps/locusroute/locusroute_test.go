@@ -1,0 +1,109 @@
+package locusroute
+
+import "testing"
+
+func small() Params {
+	return Params{W: 128, H: 32, Regions: 8, WiresPer: 12, CrossFrac: 0.1, Iterations: 2, Seed: 3}
+}
+
+func TestSerialConsistent(t *testing.T) {
+	res, err := RunSerial(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatal("CostArray inconsistent with final routes")
+	}
+	if res.Wires != 8*12 {
+		t.Fatalf("wires = %d", res.Wires)
+	}
+}
+
+func TestAllVariantsConsistent(t *testing.T) {
+	for _, v := range Variants {
+		for _, procs := range []int{1, 4, 8} {
+			res, err := Run(procs, v, small())
+			if err != nil {
+				t.Fatalf("%v/%d: %v", v, procs, err)
+			}
+			if !res.Consistent {
+				t.Fatalf("%v/%d: CostArray inconsistent (lost updates)", v, procs)
+			}
+			if res.TotalCost <= 0 {
+				t.Fatalf("%v/%d: no congestion recorded", v, procs)
+			}
+		}
+	}
+}
+
+func TestAffinityKeepsTasksAtHome(t *testing.T) {
+	// The paper reports over 80% of wire tasks routed on their region's
+	// processor under affinity scheduling.
+	p := DefaultParams()
+	p.WiresPer = 24
+	res, err := Run(8, Affinity, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf := res.Report.Total.HomeFraction(); hf < 0.7 {
+		t.Fatalf("home fraction %.2f, want >= 0.7", hf)
+	}
+}
+
+func TestAffinityReducesMisses(t *testing.T) {
+	// Figure 11's first effect: affinity scheduling cuts cache misses
+	// substantially versus round-robin.
+	p := DefaultParams()
+	p.WiresPer = 24
+	base, err := Run(8, Base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff, err := Run(8, Affinity, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aff.Report.Total.Misses() >= base.Report.Total.Misses() {
+		t.Fatalf("affinity misses %d not below base %d",
+			aff.Report.Total.Misses(), base.Report.Total.Misses())
+	}
+}
+
+func TestObjectDistrRaisesLocalFraction(t *testing.T) {
+	// Figure 11's second effect: distributing the CostArray leaves the
+	// miss count roughly unchanged but services more misses locally.
+	p := DefaultParams()
+	p.WiresPer = 24
+	aff, err := Run(8, Affinity, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distr, err := Run(8, AffinityDistr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distr.Report.Total.LocalFraction() <= aff.Report.Total.LocalFraction() {
+		t.Fatalf("local fraction: distr %.2f <= aff %.2f",
+			distr.Report.Total.LocalFraction(), aff.Report.Total.LocalFraction())
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := RunSerial(Params{W: 100, Regions: 16, H: 32, WiresPer: 4, Iterations: 1, Seed: 1}); err == nil {
+		t.Fatal("W not divisible by Regions accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(4, Affinity, small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(4, Affinity, small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.TotalCost != b.TotalCost {
+		t.Fatal("non-deterministic")
+	}
+}

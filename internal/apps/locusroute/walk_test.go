@@ -1,0 +1,129 @@
+package locusroute
+
+import (
+	"testing"
+	"testing/quick"
+
+	cool "github.com/coolrts/cool"
+)
+
+func testApp(t *testing.T) (*app, *cool.Runtime) {
+	t.Helper()
+	prm, err := Params{W: 64, H: 32, Regions: 4, WiresPer: 2, Iterations: 1, Seed: 1}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return build(rt, prm, false), rt
+}
+
+// TestWalkVisitsExpectedCellCount: an L-route covers |dx|+1 horizontal
+// cells and |dy|+1 vertical cells.
+func TestWalkVisitsExpectedCellCount(t *testing.T) {
+	ap, _ := testApp(t)
+	f := func(x1r, y1r, x2r, y2r uint8, horizFirst bool) bool {
+		w := &wire{
+			x1: int(x1r) % ap.prm.W, y1: int(y1r) % ap.prm.H,
+			x2: int(x2r) % ap.prm.W, y2: int(y2r) % ap.prm.H,
+		}
+		h, v := 0, 0
+		ap.walk(w, horizFirst, func(idx int, horiz bool) {
+			if horiz {
+				h++
+			} else {
+				v++
+			}
+			if idx < 0 || idx+1 >= ap.prm.W*ap.prm.H*2 {
+				t.Fatalf("cell index %d out of range", idx)
+			}
+		})
+		dx, dy := w.x2-w.x1, w.y2-w.y1
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return h == dx+1 && v == dy+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLayRipRoundTrip: laying then ripping a route restores the array.
+func TestLayRipRoundTrip(t *testing.T) {
+	ap, rt := testApp(t)
+	err := rt.Run(func(ctx *cool.Ctx) {
+		w := &ap.wires[0]
+		w.horizFirst = true
+		ap.lay(ctx, w, +1)
+		nonzero := 0
+		for _, v := range ap.cost.Data {
+			if v != 0 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 {
+			t.Error("lay wrote nothing")
+		}
+		ap.lay(ctx, w, -1)
+		for i, v := range ap.cost.Data {
+			if v != 0 {
+				t.Errorf("cell %d = %d after rip", i, v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathCostCountsCongestion: the cost of a candidate grows with the
+// congestion already laid along it.
+func TestPathCostCountsCongestion(t *testing.T) {
+	ap, rt := testApp(t)
+	err := rt.Run(func(ctx *cool.Ctx) {
+		w := &wire{x1: 1, y1: 1, x2: 5, y2: 4}
+		empty := ap.pathCost(ctx, w, true)
+		// Lay an overlapping wire, then re-evaluate.
+		w2 := &wire{x1: 1, y1: 1, x2: 5, y2: 1, horizFirst: true}
+		ap.lay(ctx, w2, +1)
+		congested := ap.pathCost(ctx, w, true)
+		if congested <= empty {
+			t.Errorf("cost ignored congestion: %d vs %d", congested, empty)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegionOfMidpoint: the region function uses the wire midpoint, as in
+// Figure 9.
+func TestRegionOfMidpoint(t *testing.T) {
+	ap, _ := testApp(t)
+	strip := ap.prm.W / ap.prm.Regions
+	w := &wire{x1: 0, x2: 2*strip + 2} // midpoint in strip 1
+	if got := ap.region(w); got != 1 {
+		t.Fatalf("region = %d, want 1", got)
+	}
+}
+
+// TestGenerateIsDeterministic: same seed, same circuit.
+func TestGenerateIsDeterministic(t *testing.T) {
+	p := DefaultParams()
+	a := generate(p)
+	b := generate(p)
+	if len(a) != len(b) {
+		t.Fatal("wire counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wire %d differs", i)
+		}
+	}
+}

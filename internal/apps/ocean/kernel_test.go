@@ -1,0 +1,75 @@
+package ocean
+
+import (
+	"testing"
+
+	cool "github.com/coolrts/cool"
+)
+
+// TestStencilMatchesDirectComputation verifies the five-point kernel
+// against an independent recomputation.
+func TestStencilMatchesDirectComputation(t *testing.T) {
+	prm := Params{N: 16, Regions: 4, Grids: 2, Steps: 1}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := build(rt, prm, false)
+	src := make([]float64, len(ap.grids[0].Data))
+	copy(src, ap.grids[0].Data)
+	before := make([]float64, len(ap.grids[1].Data))
+	copy(before, ap.grids[1].Data)
+
+	err = rt.Run(func(ctx *cool.Ctx) {
+		for r := 0; r < prm.Regions; r++ {
+			ap.stencil(ctx, ap.grids[0], ap.grids[1], r)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := prm.N
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			got := ap.grids[1].Data[i*n+j]
+			var want float64
+			if i == 0 || i == n-1 || j == 0 || j == n-1 {
+				want = before[i*n+j] // boundary untouched
+			} else {
+				want = 0.2 * (src[i*n+j] + src[i*n+j-1] + src[i*n+j+1] +
+					src[(i-1)*n+j] + src[(i+1)*n+j])
+			}
+			if got != want {
+				t.Fatalf("stencil (%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestAxpyMatchesDirectComputation verifies the inter-grid accumulate.
+func TestAxpyMatchesDirectComputation(t *testing.T) {
+	prm := Params{N: 16, Regions: 4, Grids: 2, Steps: 1}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := build(rt, prm, false)
+	src := make([]float64, len(ap.grids[0].Data))
+	copy(src, ap.grids[0].Data)
+	dst := make([]float64, len(ap.grids[1].Data))
+	copy(dst, ap.grids[1].Data)
+
+	err = rt.Run(func(ctx *cool.Ctx) {
+		for r := 0; r < prm.Regions; r++ {
+			ap.axpy(ctx, ap.grids[0], ap.grids[1], r, 0.25)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if want := dst[i] + 0.25*src[i]; ap.grids[1].Data[i] != want {
+			t.Fatalf("axpy[%d] = %v, want %v", i, ap.grids[1].Data[i], want)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package ocean is the Ocean case study (paper §6.1): a regular grid
+// computation over many state-variable grids, each partitioned into an
+// array of regions processed in parallel. The COOL program (Figure 5)
+// relies on the simplest hints: the programmer distributes corresponding
+// regions of all grids across the processors' memories once, and the
+// default affinity of each region task does the rest — tasks run where
+// their region lives, giving both cache reuse across timesteps and local
+// memory misses.
+package ocean
+
+import (
+	"fmt"
+
+	cool "github.com/coolrts/cool"
+)
+
+// Variant selects the program version.
+type Variant int
+
+const (
+	// Base: regions undistributed (one memory), hints ignored.
+	Base Variant = iota
+	// Distr: regions distributed round-robin, hints still ignored.
+	Distr
+	// DistrAff: distribution plus default region affinity (Figure 5).
+	DistrAff
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Base:
+		return "Base"
+	case Distr:
+		return "Distr"
+	case DistrAff:
+		return "Distr+Aff"
+	}
+	return "unknown"
+}
+
+// Variants lists the program versions in order.
+var Variants = []Variant{Base, Distr, DistrAff}
+
+// Params sizes the workload.
+type Params struct {
+	N       int // grid dimension (N×N points per grid)
+	Regions int // row bands per grid
+	Grids   int // number of state-variable grids
+	Steps   int // timesteps
+}
+
+// DefaultParams returns the standard workload.
+func DefaultParams() Params { return Params{N: 192, Regions: 32, Grids: 8, Steps: 3} }
+
+func (p Params) normalize() (Params, error) {
+	d := DefaultParams()
+	if p.N <= 0 {
+		p.N = d.N
+	}
+	if p.Regions <= 0 {
+		p.Regions = d.Regions
+	}
+	if p.Grids <= 0 {
+		p.Grids = d.Grids
+	}
+	if p.Steps <= 0 {
+		p.Steps = d.Steps
+	}
+	if p.Grids < 2 {
+		return p, fmt.Errorf("ocean: need at least 2 grids")
+	}
+	if p.N%p.Regions != 0 {
+		return p, fmt.Errorf("ocean: N (%d) must be divisible by Regions (%d)", p.N, p.Regions)
+	}
+	return p, nil
+}
+
+// Result carries timing and correctness evidence.
+type Result struct {
+	Cycles   int64
+	Report   cool.Report
+	Checksum float64
+	Tasks    int64
+}
+
+type app struct {
+	prm   Params
+	grids []*cool.F64
+}
+
+func build(rt *cool.Runtime, prm Params, distribute bool) *app {
+	ap := &app{prm: prm, grids: make([]*cool.F64, prm.Grids)}
+	for g := range ap.grids {
+		ap.grids[g] = rt.NewF64Pages(prm.N*prm.N, 0)
+		// Deterministic initial state.
+		for i := range ap.grids[g].Data {
+			ap.grids[g].Data[i] = float64((i*31+g*17)%97) / 97
+		}
+	}
+	if distribute {
+		// Figure 5's distribute(): region r of every grid migrates to
+		// processor r mod P, so corresponding regions are collocated.
+		rows := prm.N / prm.Regions
+		bytesPerRegion := int64(rows * prm.N * 8)
+		for g := range ap.grids {
+			for r := 0; r < prm.Regions; r++ {
+				rt.Migrate(ap.grids[g].Addr(r*rows*prm.N), bytesPerRegion, r%rt.Processors())
+			}
+		}
+	}
+	return ap
+}
+
+// regionAddr returns the simulated address identifying region r of grid g
+// (the object the region task has affinity for).
+func (ap *app) regionAddr(g, r int) int64 {
+	rows := ap.prm.N / ap.prm.Regions
+	return ap.grids[g].Addr(r * rows * ap.prm.N)
+}
+
+// stencil computes dst's interior rows of region r from src (five-point
+// average), charging reads of three source rows and a write of the
+// destination row per row.
+func (ap *app) stencil(ctx *cool.Ctx, src, dst *cool.F64, r int) {
+	n := ap.prm.N
+	rows := n / ap.prm.Regions
+	lo, hi := r*rows, (r+1)*rows
+	if lo == 0 {
+		lo = 1
+	}
+	if hi == n {
+		hi = n - 1
+	}
+	for i := lo; i < hi; i++ {
+		s0 := ctx.ReadF64Range(src, (i-1)*n, i*n)
+		s1 := ctx.ReadF64Range(src, i*n, (i+1)*n)
+		s2 := ctx.ReadF64Range(src, (i+1)*n, (i+2)*n)
+		d := ctx.WriteF64Range(dst, i*n, (i+1)*n)
+		for j := 1; j < n-1; j++ {
+			d[j] = 0.2 * (s1[j] + s1[j-1] + s1[j+1] + s0[j] + s2[j])
+		}
+		ctx.Compute(int64(5 * (n - 2)))
+	}
+}
+
+// axpy adds alpha*src into dst over region r (an inter-grid operation).
+func (ap *app) axpy(ctx *cool.Ctx, src, dst *cool.F64, r int, alpha float64) {
+	n := ap.prm.N
+	rows := n / ap.prm.Regions
+	lo, hi := r*rows*n, (r+1)*rows*n
+	s := ctx.ReadF64Range(src, lo, hi)
+	d := ctx.WriteF64Range(dst, lo, hi)
+	for i := range d {
+		d[i] += alpha * s[i]
+	}
+	ctx.Compute(int64(2 * (hi - lo)))
+}
+
+// gridOp runs one whole-grid operation: a waitfor over one region task
+// per region, each with affinity for its destination region.
+func (ap *app) gridOp(ctx *cool.Ctx, name string, dstGrid int, body func(c *cool.Ctx, r int)) {
+	ctx.WaitFor(func() {
+		for r := 0; r < ap.prm.Regions; r++ {
+			r := r
+			ctx.Spawn(name, func(c *cool.Ctx) { body(c, r) },
+				cool.OnObject(ap.regionAddr(dstGrid, r)))
+		}
+	})
+}
+
+// run executes the timestep pipeline: a chain of stencil ops through the
+// grids followed by an inter-grid accumulation, all barrier-separated.
+func (ap *app) run(ctx *cool.Ctx) {
+	for s := 0; s < ap.prm.Steps; s++ {
+		for g := 1; g < ap.prm.Grids; g++ {
+			src, dst := ap.grids[g-1], ap.grids[g]
+			ap.gridOp(ctx, "laplace", g, func(c *cool.Ctx, r int) {
+				ap.stencil(c, src, dst, r)
+			})
+		}
+		last := ap.grids[ap.prm.Grids-1]
+		first := ap.grids[0]
+		ap.gridOp(ctx, "accumulate", 0, func(c *cool.Ctx, r int) {
+			ap.axpy(c, last, first, r, 0.25)
+		})
+	}
+}
+
+// runSerial performs the identical computation in the main task.
+func (ap *app) runSerial(ctx *cool.Ctx) {
+	for s := 0; s < ap.prm.Steps; s++ {
+		for g := 1; g < ap.prm.Grids; g++ {
+			for r := 0; r < ap.prm.Regions; r++ {
+				ap.stencil(ctx, ap.grids[g-1], ap.grids[g], r)
+			}
+		}
+		for r := 0; r < ap.prm.Regions; r++ {
+			ap.axpy(ctx, ap.grids[ap.prm.Grids-1], ap.grids[0], r, 0.25)
+		}
+	}
+}
+
+func (ap *app) checksum() float64 {
+	var sum float64
+	for _, g := range ap.grids {
+		for _, v := range g.Data {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Run executes the workload under the given variant.
+func Run(procs int, v Variant, prm Params) (Result, error) {
+	prm, err := prm.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := cool.Config{Processors: procs}
+	if v != DistrAff {
+		cfg.Sched.IgnoreHints = true
+	}
+	rt, err := cool.NewRuntime(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	ap := build(rt, prm, v != Base)
+	if err := rt.Run(ap.run); err != nil {
+		return Result{}, fmt.Errorf("ocean %v: %w", v, err)
+	}
+	return Result{
+		Cycles:   rt.ElapsedCycles(),
+		Report:   rt.Report(),
+		Checksum: ap.checksum(),
+		Tasks:    rt.Report().Total.TasksRun,
+	}, nil
+}
+
+// RunSerial executes the serial reference on one processor.
+func RunSerial(prm Params) (Result, error) {
+	prm, err := prm.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 1})
+	if err != nil {
+		return Result{}, err
+	}
+	ap := build(rt, prm, false)
+	if err := rt.Run(ap.runSerial); err != nil {
+		return Result{}, fmt.Errorf("ocean serial: %w", err)
+	}
+	return Result{
+		Cycles:   rt.ElapsedCycles(),
+		Report:   rt.Report(),
+		Checksum: ap.checksum(),
+	}, nil
+}

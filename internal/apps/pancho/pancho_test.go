@@ -1,0 +1,106 @@
+package pancho
+
+import "testing"
+
+func small() Params { return Params{Grid: 12, MaxPanel: 4} }
+
+func TestSerialFactors(t *testing.T) {
+	res, err := RunSerial(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles charged")
+	}
+	if res.Residual > 1e-10 {
+		t.Fatalf("residual %g", res.Residual)
+	}
+	if res.MaxDiff != 0 {
+		t.Fatalf("serial run should match reference exactly, diff %g", res.MaxDiff)
+	}
+}
+
+func TestAllVariantsCorrect(t *testing.T) {
+	for _, v := range Variants {
+		for _, procs := range []int{1, 4, 8} {
+			res, err := Run(procs, v, small())
+			if err != nil {
+				t.Fatalf("%v procs=%d: %v", v, procs, err)
+			}
+			if res.Tasks < int64(res.Panels) {
+				t.Fatalf("%v procs=%d: only %d tasks for %d panels", v, procs, res.Tasks, res.Panels)
+			}
+		}
+	}
+}
+
+func TestParallelBeatsSerialElapsed(t *testing.T) {
+	// Needs a workload big enough to amortize task overheads.
+	p := Params{Grid: 64, MaxPanel: 16, RelaxFill: 0.8}
+	ser, err := RunSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(8, DistrAff, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(par.Cycles) > 0.5*float64(ser.Cycles) {
+		t.Fatalf("no speedup: serial %d, parallel(8) %d", ser.Cycles, par.Cycles)
+	}
+}
+
+func TestAffinityImprovesOnBase(t *testing.T) {
+	p := Params{Grid: 16, MaxPanel: 8}
+	base, err := Run(8, Base, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff, err := Run(8, DistrAff, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: affinity scheduling plus distribution beats
+	// locality-oblivious scheduling.
+	if float64(aff.Cycles) > float64(base.Cycles)*1.05 {
+		t.Fatalf("affinity (%d cycles) not better than base (%d cycles)", aff.Cycles, base.Cycles)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Run(4, DistrAff, small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(4, DistrAff, small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Report.Total != b.Report.Total {
+		t.Fatalf("non-deterministic: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestPaddingStaysZero(t *testing.T) {
+	ok, err := PaddingZero(Params{Grid: 16, MaxPanel: 10, RelaxFill: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("amalgamation padding accumulated nonzero values")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	names := map[Variant]string{
+		Base:            "Base",
+		Distr:           "Distr",
+		DistrAff:        "Distr+Aff",
+		DistrAffCluster: "Distr+Aff+ClusterStealing",
+	}
+	for v, want := range names {
+		if v.String() != want {
+			t.Fatalf("%d.String() = %q", v, v.String())
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package apps provides a uniform registry over the SPLASH case-study
+// applications so drivers and benchmarks can run any app/variant/size by
+// name.
+package apps
+
+import (
+	"fmt"
+
+	cool "github.com/coolrts/cool"
+	"github.com/coolrts/cool/internal/apps/barneshut"
+	"github.com/coolrts/cool/internal/apps/blockcho"
+	"github.com/coolrts/cool/internal/apps/gauss"
+	"github.com/coolrts/cool/internal/apps/locusroute"
+	"github.com/coolrts/cool/internal/apps/ocean"
+	"github.com/coolrts/cool/internal/apps/pancho"
+)
+
+// Result is the registry's uniform view of one application run.
+type Result struct {
+	Cycles int64
+	Report cool.Report
+	Verify string // human-readable correctness evidence
+}
+
+// App is one registered application.
+type App struct {
+	Name     string
+	Variants []string // program versions, Base first
+	// Run executes the app with the named variant; size 0 selects the
+	// app's default workload (the meaning of size is app-specific: grid
+	// dimension, wires per region, bodies, matrix dimension).
+	Run func(procs int, variant string, size int) (Result, error)
+	// RunSerial executes the single-task serial reference.
+	RunSerial func(size int) (Result, error)
+}
+
+var registry = []App{panchoApp(), oceanApp(), locusApp(), blockchoApp(), barneshutApp(), gaussApp()}
+
+// Names lists registered applications in registration order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, a := range registry {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Lookup finds an application by name.
+func Lookup(name string) (App, bool) {
+	for _, a := range registry {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// variantIndex resolves a variant name against a list, or errors.
+func variantIndex(app string, names []string, want string) (int, error) {
+	for i, n := range names {
+		if n == want {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("apps: %s has no variant %q (have %v)", app, names, want)
+}
+
+func panchoApp() App {
+	names := make([]string, len(pancho.Variants))
+	for i, v := range pancho.Variants {
+		names[i] = v.String()
+	}
+	prm := func(size int) pancho.Params {
+		p := pancho.DefaultParams()
+		if size > 0 {
+			p.Grid = size
+		}
+		return p
+	}
+	return App{
+		Name:     "pancho",
+		Variants: names,
+		Run: func(procs int, variant string, size int) (Result, error) {
+			i, err := variantIndex("pancho", names, variant)
+			if err != nil {
+				return Result{}, err
+			}
+			r, err := pancho.Run(procs, pancho.Variants[i], prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report,
+				fmt.Sprintf("residual=%.2e maxdiff=%.2e panels=%d", r.Residual, r.MaxDiff, r.Panels)}, nil
+		},
+		RunSerial: func(size int) (Result, error) {
+			r, err := pancho.RunSerial(prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report, fmt.Sprintf("residual=%.2e", r.Residual)}, nil
+		},
+	}
+}
+
+func oceanApp() App {
+	names := make([]string, len(ocean.Variants))
+	for i, v := range ocean.Variants {
+		names[i] = v.String()
+	}
+	prm := func(size int) ocean.Params {
+		p := ocean.DefaultParams()
+		if size > 0 {
+			p.N = size
+		}
+		return p
+	}
+	return App{
+		Name:     "ocean",
+		Variants: names,
+		Run: func(procs int, variant string, size int) (Result, error) {
+			i, err := variantIndex("ocean", names, variant)
+			if err != nil {
+				return Result{}, err
+			}
+			r, err := ocean.Run(procs, ocean.Variants[i], prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+		},
+		RunSerial: func(size int) (Result, error) {
+			r, err := ocean.RunSerial(prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+		},
+	}
+}
+
+func locusApp() App {
+	names := make([]string, len(locusroute.Variants))
+	for i, v := range locusroute.Variants {
+		names[i] = v.String()
+	}
+	prm := func(size int) locusroute.Params {
+		p := locusroute.DefaultParams()
+		if size > 0 {
+			p.WiresPer = size
+		}
+		return p
+	}
+	return App{
+		Name:     "locusroute",
+		Variants: names,
+		Run: func(procs int, variant string, size int) (Result, error) {
+			i, err := variantIndex("locusroute", names, variant)
+			if err != nil {
+				return Result{}, err
+			}
+			r, err := locusroute.Run(procs, locusroute.Variants[i], prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report,
+				fmt.Sprintf("consistent=%v cost=%d wires=%d", r.Consistent, r.TotalCost, r.Wires)}, nil
+		},
+		RunSerial: func(size int) (Result, error) {
+			r, err := locusroute.RunSerial(prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report,
+				fmt.Sprintf("consistent=%v cost=%d", r.Consistent, r.TotalCost)}, nil
+		},
+	}
+}
+
+func blockchoApp() App {
+	names := make([]string, len(blockcho.Variants))
+	for i, v := range blockcho.Variants {
+		names[i] = v.String()
+	}
+	prm := func(size int) blockcho.Params {
+		p := blockcho.DefaultParams()
+		if size > 0 {
+			p.N = size
+		}
+		return p
+	}
+	return App{
+		Name:     "blockcho",
+		Variants: names,
+		Run: func(procs int, variant string, size int) (Result, error) {
+			i, err := variantIndex("blockcho", names, variant)
+			if err != nil {
+				return Result{}, err
+			}
+			r, err := blockcho.Run(procs, blockcho.Variants[i], prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report,
+				fmt.Sprintf("maxdiff=%.2e blocks=%d", r.MaxDiff, r.Blocks)}, nil
+		},
+		RunSerial: func(size int) (Result, error) {
+			r, err := blockcho.RunSerial(prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report, fmt.Sprintf("maxdiff=%.2e", r.MaxDiff)}, nil
+		},
+	}
+}
+
+func barneshutApp() App {
+	names := make([]string, len(barneshut.Variants))
+	for i, v := range barneshut.Variants {
+		names[i] = v.String()
+	}
+	prm := func(size int) barneshut.Params {
+		p := barneshut.DefaultParams()
+		if size > 0 {
+			p.Bodies = size
+		}
+		return p
+	}
+	return App{
+		Name:     "barneshut",
+		Variants: names,
+		Run: func(procs int, variant string, size int) (Result, error) {
+			i, err := variantIndex("barneshut", names, variant)
+			if err != nil {
+				return Result{}, err
+			}
+			r, err := barneshut.Run(procs, barneshut.Variants[i], prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+		},
+		RunSerial: func(size int) (Result, error) {
+			r, err := barneshut.RunSerial(prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+		},
+	}
+}
+
+func gaussApp() App {
+	names := make([]string, len(gauss.Variants))
+	for i, v := range gauss.Variants {
+		names[i] = v.String()
+	}
+	prm := func(size int) gauss.Params {
+		p := gauss.DefaultParams()
+		if size > 0 {
+			p.N = size
+		}
+		return p
+	}
+	return App{
+		Name:     "gauss",
+		Variants: names,
+		Run: func(procs int, variant string, size int) (Result, error) {
+			i, err := variantIndex("gauss", names, variant)
+			if err != nil {
+				return Result{}, err
+			}
+			r, err := gauss.Run(procs, gauss.Variants[i], prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+		},
+		RunSerial: func(size int) (Result, error) {
+			r, err := gauss.RunSerial(prm(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+		},
+	}
+}

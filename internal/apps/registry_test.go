@@ -1,0 +1,74 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinySizes keep the end-to-end registry runs fast.
+var tinySizes = map[string]int{
+	"ocean":      64,  // N (divisible by 32 regions)
+	"locusroute": 4,   // wires per region
+	"pancho":     12,  // grid
+	"blockcho":   64,  // N (2×2 blocks of 32)
+	"barneshut":  256, // bodies (divisible by 64 groups)
+	"gauss":      32,  // N
+}
+
+func TestRegistryNamesAndLookup(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("registered apps = %v", names)
+	}
+	for _, n := range names {
+		app, ok := Lookup(n)
+		if !ok || app.Name != n {
+			t.Fatalf("lookup %q failed", n)
+		}
+		if len(app.Variants) < 2 {
+			t.Fatalf("%s has %d variants", n, len(app.Variants))
+		}
+		if app.Variants[0] != "Base" {
+			t.Fatalf("%s first variant %q, want Base", n, app.Variants[0])
+		}
+	}
+	if _, ok := Lookup("nonesuch"); ok {
+		t.Fatal("lookup of unknown app succeeded")
+	}
+}
+
+func TestRegistryRunsEveryAppEndToEnd(t *testing.T) {
+	for _, name := range Names() {
+		app, _ := Lookup(name)
+		size := tinySizes[name]
+		ser, err := app.RunSerial(size)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		if ser.Cycles <= 0 || ser.Verify == "" {
+			t.Fatalf("%s serial result %+v", name, ser)
+		}
+		for _, variant := range app.Variants {
+			res, err := app.Run(4, variant, size)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, variant, err)
+			}
+			if res.Cycles <= 0 {
+				t.Fatalf("%s/%s: no cycles", name, variant)
+			}
+			if res.Report.Total.TasksRun == 0 {
+				t.Fatalf("%s/%s: no tasks ran", name, variant)
+			}
+		}
+	}
+}
+
+func TestRegistryRejectsUnknownVariant(t *testing.T) {
+	for _, name := range Names() {
+		app, _ := Lookup(name)
+		_, err := app.Run(2, "NoSuchVariant", tinySizes[name])
+		if err == nil || !strings.Contains(err.Error(), "variant") {
+			t.Fatalf("%s accepted bogus variant (err=%v)", name, err)
+		}
+	}
+}

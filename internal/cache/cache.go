@@ -1,0 +1,427 @@
+// Package cache simulates the per-processor two-level cache hierarchy of
+// the modelled machine together with an invalidation-based directory
+// coherence protocol (the essentials of DASH's protocol).
+//
+// Every simulated memory reference is charged the latency of the level
+// that services it: first-level cache, second-level cache, local cluster
+// memory, remote cluster memory, or a dirty line in another processor's
+// cache. The package feeds the perfmon counters used to regenerate the
+// paper's cache-miss figures.
+package cache
+
+import (
+	"math/bits"
+
+	"github.com/coolrts/cool/internal/machine"
+	"github.com/coolrts/cool/internal/memsim"
+	"github.com/coolrts/cool/internal/perfmon"
+)
+
+type state int8
+
+const (
+	invalid state = iota
+	shared
+	modified
+)
+
+// way is one cache line slot.
+type way struct {
+	tag   int64 // line address (addr >> lineShift), -1 when invalid
+	state state
+	used  int64 // LRU timestamp
+}
+
+// level is one set-associative cache level.
+type level struct {
+	sets  int
+	assoc int
+	ways  []way // sets*assoc entries
+}
+
+func newLevel(g machine.CacheGeometry, lineSize int) *level {
+	sets := g.Size / (g.Assoc * lineSize)
+	l := &level{sets: sets, assoc: g.Assoc, ways: make([]way, sets*g.Assoc)}
+	for i := range l.ways {
+		l.ways[i].tag = -1
+	}
+	return l
+}
+
+// lookup returns the way index holding line, or -1.
+func (l *level) lookup(line int64) int {
+	set := int(line&int64(l.sets-1)) * l.assoc
+	for i := set; i < set+l.assoc; i++ {
+		if l.ways[i].tag == line && l.ways[i].state != invalid {
+			return i
+		}
+	}
+	return -1
+}
+
+// victim returns the way index to fill for line (an invalid way if any,
+// else the LRU way).
+func (l *level) victim(line int64) int {
+	set := int(line&int64(l.sets-1)) * l.assoc
+	best := set
+	for i := set; i < set+l.assoc; i++ {
+		if l.ways[i].state == invalid {
+			return i
+		}
+		if l.ways[i].used < l.ways[best].used {
+			best = i
+		}
+	}
+	return best
+}
+
+// dirEntry is the directory state for one line: which caches hold it and
+// whether one of them holds it modified.
+type dirEntry struct {
+	sharers uint64 // bitmask over processors
+	owner   int8   // valid when dirty
+	dirty   bool
+}
+
+// procCache is one processor's private hierarchy.
+type procCache struct {
+	l1, l2 *level
+	tick   int64
+}
+
+// System is the machine-wide cache and coherence simulator.
+type System struct {
+	cfg       machine.Config
+	lineShift uint
+	procs     []procCache
+	dir       map[int64]*dirEntry
+	space     *memsim.Space
+	mon       *perfmon.Monitor
+
+	// mems models each cluster memory module as a FIFO server: misses
+	// arrive, the queue drains one miss per MemOccupancy cycles, and a
+	// new miss waits behind the current backlog.
+	mems []memModule
+}
+
+// memModule tracks one cluster memory's backlog. Queue length (not an
+// absolute busy-until time) makes the model robust to the bounded clock
+// skew between processors: an out-of-order arrival cannot reserve the
+// module in another processor's simulated future.
+type memModule struct {
+	qlen float64
+	last int64
+}
+
+// New builds the cache system for a validated machine configuration.
+func New(cfg machine.Config, space *memsim.Space, mon *perfmon.Monitor) *System {
+	s := &System{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros64(uint64(cfg.LineSize))),
+		dir:       make(map[int64]*dirEntry),
+		space:     space,
+		mon:       mon,
+	}
+	s.mems = make([]memModule, cfg.Clusters())
+	s.procs = make([]procCache, cfg.Processors)
+	for i := range s.procs {
+		s.procs[i] = procCache{
+			l1: newLevel(cfg.L1, cfg.LineSize),
+			l2: newLevel(cfg.L2, cfg.LineSize),
+		}
+	}
+	return s
+}
+
+// Access simulates processor p touching [addr, addr+size) starting at
+// simulated time now, and returns the total latency in cycles. write
+// selects a store (requiring exclusive ownership) versus a load. Misses
+// serviced by a memory module queue behind earlier misses to the same
+// module (bandwidth contention).
+func (s *System) Access(p int, now int64, addr, size int64, write bool) int64 {
+	if size <= 0 {
+		return 0
+	}
+	first := addr >> s.lineShift
+	last := (addr + size - 1) >> s.lineShift
+	var cycles int64
+	for line := first; line <= last; line++ {
+		cycles += s.accessLine(p, now+cycles, line, write)
+	}
+	return cycles
+}
+
+// Prefetch installs the lines of [addr, addr+size) into p's caches in
+// shared state without stalling the processor: only a small issue cost
+// per line is returned, while the memory module still spends bandwidth
+// on the lines actually fetched. Lines already present (or dirty in
+// another cache, which a non-binding prefetch must not disturb) are
+// skipped.
+func (s *System) Prefetch(p int, now int64, addr, size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	const issueCost = 2
+	pc := &s.procs[p]
+	ctr := &s.mon.Per[p]
+	first := addr >> s.lineShift
+	last := (addr + size - 1) >> s.lineShift
+	var cycles int64
+	for line := first; line <= last; line++ {
+		cycles += issueCost
+		ctr.Prefetches++
+		if pc.l2.lookup(line) >= 0 || pc.l1.lookup(line) >= 0 {
+			continue
+		}
+		if d := s.dir[line]; d != nil && d.dirty {
+			continue // non-binding: leave dirty lines alone
+		}
+		pc.tick++
+		s.memQueue(s.space.HomeCluster(line<<s.lineShift), now+cycles)
+		d := s.dir[line]
+		if d == nil {
+			d = &dirEntry{}
+			s.dir[line] = d
+		}
+		d.sharers |= 1 << uint(p)
+		s.fillL2(p, line, shared)
+		s.fillL1(p, line, shared)
+		ctr.PrefetchFills++
+	}
+	return cycles
+}
+
+// accessLine services one line reference at time at and returns its
+// latency.
+func (s *System) accessLine(p int, at int64, line int64, write bool) int64 {
+	pc := &s.procs[p]
+	pc.tick++
+	ctr := &s.mon.Per[p]
+	ctr.Refs++
+	lat := s.cfg.Lat
+
+	// First-level cache.
+	if i := pc.l1.lookup(line); i >= 0 {
+		pc.l1.ways[i].used = pc.tick
+		if !write || pc.l1.ways[i].state == modified {
+			ctr.L1Hits++
+			return lat.L1Hit
+		}
+		// Write to a shared line: upgrade.
+		cyc := s.upgrade(p, line)
+		s.setState(pc, line, modified)
+		ctr.Upgrades++
+		return lat.L1Hit + cyc
+	}
+
+	// Second-level cache.
+	if i := pc.l2.lookup(line); i >= 0 {
+		pc.l2.ways[i].used = pc.tick
+		st := pc.l2.ways[i].state
+		var cyc int64
+		if write && st != modified {
+			cyc = s.upgrade(p, line)
+			ctr.Upgrades++
+			st = modified
+		}
+		s.fillL1(p, line, st)
+		pc.l2.ways[i].state = st
+		ctr.L2Hits++
+		return lat.L2Hit + cyc
+	}
+
+	// Miss: consult the directory.
+	return s.miss(p, at, line, write)
+}
+
+// miss services a full cache miss through the directory and fills both
+// levels. Returns the latency, including any queueing at the home memory
+// module.
+func (s *System) miss(p int, at int64, line int64, write bool) int64 {
+	ctr := &s.mon.Per[p]
+	lat := s.cfg.Lat
+	myCluster := s.cfg.ClusterOf(p)
+	homeCluster := s.space.HomeCluster(line << s.lineShift)
+
+	d := s.dir[line]
+	var cycles int64
+	switch {
+	case d != nil && d.dirty && int(d.owner) != p:
+		// Serviced cache-to-cache from the dirty owner. The transfer
+		// occupies the owner's cluster resources (its bus/directory),
+		// so it queues there like a memory-serviced miss.
+		owner := int(d.owner)
+		if s.cfg.SameCluster(p, owner) {
+			cycles = lat.LocalMem
+		} else {
+			cycles = lat.RemoteDirty
+		}
+		cycles += s.memQueue(s.cfg.ClusterOf(owner), at)
+		ctr.DirtyMisses++
+		if write {
+			s.invalidateIn(owner, line)
+			d.sharers = 0
+			d.dirty = false
+		} else {
+			// Owner's copy downgrades to shared; data written home.
+			s.downgradeIn(owner, line)
+			d.dirty = false
+			s.mon.Per[owner].Writebacks++
+		}
+	case homeCluster == myCluster:
+		cycles = lat.LocalMem + s.memQueue(homeCluster, at)
+		ctr.LocalMisses++
+	default:
+		cycles = lat.RemoteMem + s.memQueue(homeCluster, at)
+		ctr.RemoteMisses++
+	}
+
+	if d == nil {
+		d = &dirEntry{}
+		s.dir[line] = d
+	}
+	var st state
+	if write {
+		// Exclusive: invalidate all other sharers.
+		s.invalidateSharers(p, line, d)
+		d.sharers = 1 << uint(p)
+		d.owner = int8(p)
+		d.dirty = true
+		st = modified
+	} else {
+		d.sharers |= 1 << uint(p)
+		st = shared
+	}
+
+	s.fillL2(p, line, st)
+	s.fillL1(p, line, st)
+	return cycles
+}
+
+// memQueue records one miss arriving at the cluster's memory module at
+// time at and returns the queueing delay behind the current backlog. The
+// backlog drains at one miss per MemOccupancy cycles.
+func (s *System) memQueue(cluster int, at int64) int64 {
+	occ := s.cfg.Lat.MemOccupancy
+	if occ <= 0 {
+		return 0
+	}
+	m := &s.mems[cluster]
+	if at > m.last {
+		m.qlen -= float64(at-m.last) / float64(occ)
+		if m.qlen < 0 {
+			m.qlen = 0
+		}
+		m.last = at
+	}
+	delay := int64(m.qlen * float64(occ))
+	m.qlen++
+	return delay
+}
+
+// upgrade obtains exclusive ownership of a line this processor already
+// holds shared. Returns the extra latency.
+func (s *System) upgrade(p int, line int64) int64 {
+	d := s.dir[line]
+	if d != nil {
+		s.invalidateSharers(p, line, d)
+		d.sharers = 1 << uint(p)
+		d.owner = int8(p)
+		d.dirty = true
+	} else {
+		s.dir[line] = &dirEntry{sharers: 1 << uint(p), owner: int8(p), dirty: true}
+	}
+	return s.cfg.Lat.Upgrade
+}
+
+// invalidateSharers removes every copy of line except processor p's.
+func (s *System) invalidateSharers(p int, line int64, d *dirEntry) {
+	mask := d.sharers &^ (1 << uint(p))
+	for mask != 0 {
+		q := bits.TrailingZeros64(mask)
+		mask &^= 1 << uint(q)
+		s.invalidateIn(q, line)
+	}
+	d.sharers &= 1 << uint(p)
+}
+
+// invalidateIn drops line from processor q's caches.
+func (s *System) invalidateIn(q int, line int64) {
+	pc := &s.procs[q]
+	if i := pc.l1.lookup(line); i >= 0 {
+		pc.l1.ways[i].state = invalid
+	}
+	if i := pc.l2.lookup(line); i >= 0 {
+		pc.l2.ways[i].state = invalid
+	}
+	s.mon.Per[q].Invalidations++
+}
+
+// downgradeIn demotes a modified line in q's caches to shared.
+func (s *System) downgradeIn(q int, line int64) {
+	pc := &s.procs[q]
+	if i := pc.l1.lookup(line); i >= 0 && pc.l1.ways[i].state == modified {
+		pc.l1.ways[i].state = shared
+	}
+	if i := pc.l2.lookup(line); i >= 0 && pc.l2.ways[i].state == modified {
+		pc.l2.ways[i].state = shared
+	}
+}
+
+// setState updates line's state in both levels of p's hierarchy.
+func (s *System) setState(pc *procCache, line int64, st state) {
+	if i := pc.l1.lookup(line); i >= 0 {
+		pc.l1.ways[i].state = st
+	}
+	if i := pc.l2.lookup(line); i >= 0 {
+		pc.l2.ways[i].state = st
+	}
+}
+
+// fillL1 inserts line into p's L1, evicting the LRU way.
+func (s *System) fillL1(p int, line int64, st state) {
+	pc := &s.procs[p]
+	v := pc.l1.victim(line)
+	w := &pc.l1.ways[v]
+	// L1 is inclusive in L2: evicted L1 lines stay in L2, so no directory
+	// action is needed here.
+	w.tag = line
+	w.state = st
+	w.used = pc.tick
+}
+
+// fillL2 inserts line into p's L2, evicting the LRU way (with
+// back-invalidation of L1 to preserve inclusion, and writeback/directory
+// maintenance for the victim).
+func (s *System) fillL2(p int, line int64, st state) {
+	pc := &s.procs[p]
+	v := pc.l2.victim(line)
+	w := &pc.l2.ways[v]
+	if w.state != invalid && w.tag != line {
+		s.evictLine(p, w.tag, w.state)
+	}
+	w.tag = line
+	w.state = st
+	w.used = pc.tick
+}
+
+// evictLine handles a line leaving p's L2: back-invalidate L1, write back
+// if dirty, and update the directory.
+func (s *System) evictLine(p int, line int64, st state) {
+	pc := &s.procs[p]
+	if i := pc.l1.lookup(line); i >= 0 {
+		pc.l1.ways[i].state = invalid
+	}
+	if st == modified {
+		s.mon.Per[p].Writebacks++
+	}
+	if d, ok := s.dir[line]; ok {
+		d.sharers &^= 1 << uint(p)
+		if d.dirty && int(d.owner) == p {
+			d.dirty = false
+		}
+		if d.sharers == 0 {
+			delete(s.dir, line)
+		}
+	}
+}

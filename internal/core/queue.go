@@ -1,0 +1,112 @@
+package core
+
+// taskQueue is a FIFO of task descriptors (intrusive doubly-linked).
+// Task-affinity queues additionally participate in the per-server list of
+// non-empty queues, giving O(1) "find some work".
+type taskQueue struct {
+	head, tail *TaskDesc
+	size       int
+
+	// Links in the server's non-empty list (task-affinity queues only).
+	nextQ, prevQ *taskQueue
+	inList       bool
+	slotIdx      int
+}
+
+func (q *taskQueue) empty() bool { return q.head == nil }
+
+// push appends td.
+func (q *taskQueue) push(td *TaskDesc) {
+	if td.q != nil {
+		panic("core: task already queued")
+	}
+	td.q = q
+	td.prev = q.tail
+	td.next = nil
+	if q.tail != nil {
+		q.tail.next = td
+	} else {
+		q.head = td
+	}
+	q.tail = td
+	q.size++
+}
+
+// pop removes and returns the head, or nil.
+func (q *taskQueue) pop() *TaskDesc {
+	td := q.head
+	if td == nil {
+		return nil
+	}
+	q.remove(td)
+	return td
+}
+
+// remove unlinks td from the queue.
+func (q *taskQueue) remove(td *TaskDesc) {
+	if td.q != q {
+		panic("core: removing task from wrong queue")
+	}
+	if td.prev != nil {
+		td.prev.next = td.next
+	} else {
+		q.head = td.next
+	}
+	if td.next != nil {
+		td.next.prev = td.prev
+	} else {
+		q.tail = td.prev
+	}
+	td.next, td.prev, td.q = nil, nil, nil
+	q.size--
+}
+
+// popMatching removes and returns the first task with AffObj == obj, or nil.
+func (q *taskQueue) popMatching(obj int64) *TaskDesc {
+	for td := q.head; td != nil; td = td.next {
+		if td.AffObj == obj {
+			q.remove(td)
+			return td
+		}
+	}
+	return nil
+}
+
+// nonEmptyList is the doubly-linked list of non-empty task-affinity
+// queues within one server (paper, Section 5).
+type nonEmptyList struct {
+	head, tail *taskQueue
+}
+
+func (l *nonEmptyList) add(q *taskQueue) {
+	if q.inList {
+		return
+	}
+	q.inList = true
+	q.prevQ = l.tail
+	q.nextQ = nil
+	if l.tail != nil {
+		l.tail.nextQ = q
+	} else {
+		l.head = q
+	}
+	l.tail = q
+}
+
+func (l *nonEmptyList) removeQ(q *taskQueue) {
+	if !q.inList {
+		return
+	}
+	q.inList = false
+	if q.prevQ != nil {
+		q.prevQ.nextQ = q.nextQ
+	} else {
+		l.head = q.nextQ
+	}
+	if q.nextQ != nil {
+		q.nextQ.prevQ = q.prevQ
+	} else {
+		l.tail = q.prevQ
+	}
+	q.nextQ, q.prevQ = nil, nil
+}

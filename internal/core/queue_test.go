@@ -1,0 +1,133 @@
+package core
+
+import "testing"
+
+func mkTD(n int) []*TaskDesc {
+	tds := make([]*TaskDesc, n)
+	for i := range tds {
+		tds[i] = &TaskDesc{AffObj: int64(i)}
+	}
+	return tds
+}
+
+func TestTaskQueueFIFO(t *testing.T) {
+	var q taskQueue
+	tds := mkTD(5)
+	for _, td := range tds {
+		q.push(td)
+	}
+	if q.size != 5 {
+		t.Fatalf("size = %d", q.size)
+	}
+	for i := 0; i < 5; i++ {
+		td := q.pop()
+		if td != tds[i] {
+			t.Fatalf("pop %d returned wrong task", i)
+		}
+		if td.q != nil {
+			t.Fatal("popped task still linked to queue")
+		}
+	}
+	if q.pop() != nil || !q.empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestTaskQueueRemoveMiddle(t *testing.T) {
+	var q taskQueue
+	tds := mkTD(3)
+	for _, td := range tds {
+		q.push(td)
+	}
+	q.remove(tds[1])
+	if q.size != 2 {
+		t.Fatalf("size = %d", q.size)
+	}
+	if q.pop() != tds[0] || q.pop() != tds[2] {
+		t.Fatal("wrong order after middle removal")
+	}
+}
+
+func TestTaskQueueRemoveEnds(t *testing.T) {
+	var q taskQueue
+	tds := mkTD(3)
+	for _, td := range tds {
+		q.push(td)
+	}
+	q.remove(tds[0])
+	q.remove(tds[2])
+	if q.head != tds[1] || q.tail != tds[1] || q.size != 1 {
+		t.Fatal("removal of head and tail broke links")
+	}
+}
+
+func TestPopMatching(t *testing.T) {
+	var q taskQueue
+	a := &TaskDesc{AffObj: 100}
+	b := &TaskDesc{AffObj: 200}
+	c := &TaskDesc{AffObj: 100}
+	q.push(a)
+	q.push(b)
+	q.push(c)
+	if got := q.popMatching(100); got != a {
+		t.Fatal("first match wrong")
+	}
+	if got := q.popMatching(100); got != c {
+		t.Fatal("second match wrong")
+	}
+	if got := q.popMatching(100); got != nil {
+		t.Fatal("should be no more matches")
+	}
+	if q.pop() != b {
+		t.Fatal("unmatched task lost")
+	}
+}
+
+func TestDoublePushPanics(t *testing.T) {
+	var q taskQueue
+	td := &TaskDesc{}
+	q.push(td)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double push did not panic")
+		}
+	}()
+	q.push(td)
+}
+
+func TestNonEmptyListAddRemove(t *testing.T) {
+	var l nonEmptyList
+	qs := make([]*taskQueue, 4)
+	for i := range qs {
+		qs[i] = &taskQueue{slotIdx: i}
+		l.add(qs[i])
+	}
+	// Duplicate add is a no-op.
+	l.add(qs[0])
+	count := 0
+	for q := l.head; q != nil; q = q.nextQ {
+		count++
+	}
+	if count != 4 {
+		t.Fatalf("list has %d queues, want 4", count)
+	}
+	l.removeQ(qs[1])
+	l.removeQ(qs[3])
+	var idx []int
+	for q := l.head; q != nil; q = q.nextQ {
+		idx = append(idx, q.slotIdx)
+	}
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Fatalf("list after removals = %v", idx)
+	}
+	// Remove remaining; list must be empty and re-addable.
+	l.removeQ(qs[0])
+	l.removeQ(qs[2])
+	if l.head != nil || l.tail != nil {
+		t.Fatal("list not empty")
+	}
+	l.add(qs[2])
+	if l.head != qs[2] || l.tail != qs[2] {
+		t.Fatal("re-add failed")
+	}
+}

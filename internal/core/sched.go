@@ -1,0 +1,459 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/coolrts/cool/internal/machine"
+	"github.com/coolrts/cool/internal/memsim"
+	"github.com/coolrts/cool/internal/perfmon"
+	"github.com/coolrts/cool/internal/sim"
+	"github.com/coolrts/cool/internal/trace"
+)
+
+// Policy holds the tunable scheduling knobs studied in the paper.
+type Policy struct {
+	// IgnoreHints reproduces the paper's "Base" versions: every task is
+	// placed round-robin across servers with no regard for locality.
+	IgnoreHints bool
+
+	// QueueArraySize is the number of task-affinity queues per server.
+	// "Collisions of different task-affinity sets on the same queue can
+	// be minimized by choosing a suitably large array size."
+	QueueArraySize int
+
+	// ClusterStealingOnly restricts stealing to servers in the thief's
+	// cluster (the Panel Cholesky cluster-stealing experiment).
+	ClusterStealingOnly bool
+
+	// ClusterStealFirst makes thieves probe same-cluster victims before
+	// remote ones (a "smart default" the paper suggests automating).
+	ClusterStealFirst bool
+
+	// StealWholeSets lets an idle processor steal an entire
+	// task-affinity set so the set still enjoys cache reuse after the
+	// move.
+	StealWholeSets bool
+
+	// StealObjectBound permits stealing object-affinity tasks as a last
+	// resort. The paper argues such tasks "should preferably not be
+	// stolen"; disabling trades load balance for locality.
+	StealObjectBound bool
+
+	// DisableStealing turns off work stealing entirely (tasks only run
+	// on the server they were placed on) — an ablation knob.
+	DisableStealing bool
+
+	// PlaceSetsLeastLoaded places a new task-affinity set on the server
+	// with the fewest queued tasks instead of round-robin (§4.2: "the
+	// particular processor can be chosen based on load balancing
+	// considerations").
+	PlaceSetsLeastLoaded bool
+}
+
+// DefaultPolicy returns the runtime's default scheduling policy.
+func DefaultPolicy() Policy {
+	return Policy{
+		QueueArraySize:    64,
+		ClusterStealFirst: true,
+		StealWholeSets:    true,
+		StealObjectBound:  true,
+	}
+}
+
+// server is the per-processor scheduling state: the paper's two kinds of
+// task queues plus a resume queue for unblocked continuations.
+type server struct {
+	id       int
+	resume   taskQueue    // unblocked continuations (highest priority)
+	plain    taskQueue    // object/plain queue: processor-affinity and no-hint tasks
+	slots    []taskQueue  // array of task-affinity queues
+	nonEmpty nonEmptyList // non-empty task-affinity queues
+	cur      *taskQueue   // slot currently being drained back-to-back
+	queued   int          // total tasks queued on this server
+}
+
+// Scheduler implements sim.Dispatcher with the paper's policies.
+type Scheduler struct {
+	Cfg     machine.Config
+	Pol     Policy
+	Eng     *sim.Engine
+	Space   *memsim.Space
+	Mon     *perfmon.Monitor
+	Trace   *trace.Log // nil disables tracing
+	Srv     []*server
+	rr      int           // round-robin cursor (Base mode, AffNone spread)
+	setHome map[int64]int // task-affinity set -> server currently hosting it
+}
+
+// NewScheduler wires a scheduler to an engine.
+func NewScheduler(cfg machine.Config, pol Policy, eng *sim.Engine, space *memsim.Space, mon *perfmon.Monitor) *Scheduler {
+	if pol.QueueArraySize <= 0 {
+		pol.QueueArraySize = 64
+	}
+	s := &Scheduler{Cfg: cfg, Pol: pol, Eng: eng, Space: space, Mon: mon, setHome: make(map[int64]int)}
+	s.Srv = make([]*server, cfg.Processors)
+	for i := range s.Srv {
+		sv := &server{id: i, slots: make([]taskQueue, pol.QueueArraySize)}
+		for j := range sv.slots {
+			sv.slots[j].slotIdx = j
+		}
+		s.Srv[i] = sv
+	}
+	eng.SetDispatcher(s)
+	return s
+}
+
+// homeServer maps an object address to its home server: the processor
+// named when the page was allocated or last migrated (the paper's
+// footnote 3 — the runtime tracks an object's location directly).
+func (s *Scheduler) homeServer(addr int64) int {
+	return s.Space.HomeProc(addr)
+}
+
+// HomeServer exposes the home-server mapping (COOL's home() construct).
+func (s *Scheduler) HomeServer(addr int64) int { return s.homeServer(addr) }
+
+// slotOf maps a task-affinity object to its queue index within a server.
+// Mixing the line and page numbers keeps both small same-page objects and
+// page-aligned objects spread across the queue array.
+func (s *Scheduler) slotOf(addr int64) int {
+	h := addr>>6 + addr/int64(s.Cfg.PageSize)
+	return int(h % int64(s.Pol.QueueArraySize))
+}
+
+// Place resolves an affinity specification to (class, server, slot,
+// setObj), implementing Table 1's semantics.
+func (s *Scheduler) Place(a Affinity, spawner int) (Class, int, int, int64) {
+	if s.Pol.IgnoreHints {
+		sv := s.rr % s.Cfg.Processors
+		s.rr++
+		return ClassPlain, sv, -1, 0
+	}
+	switch a.Kind {
+	case AffNone:
+		return ClassPlain, spawner, -1, 0
+	case AffDefault, AffSimple:
+		// Cache and memory locality on the one object: collocate with
+		// its home and service back to back via its task-affinity queue.
+		return ClassObjectBound, s.homeServer(a.TaskObj), s.slotOf(a.TaskObj), a.TaskObj
+	case AffTask:
+		// Back-to-back execution matters; the particular processor is a
+		// load-balancing decision. Keep a set on one server while it is
+		// active, spreading distinct sets round-robin (or onto the
+		// least-loaded server when the policy asks for it).
+		sv, ok := s.setHome[a.TaskObj]
+		if !ok {
+			if s.Pol.PlaceSetsLeastLoaded {
+				sv = s.leastLoaded()
+			} else {
+				sv = s.rr % s.Cfg.Processors
+				s.rr++
+			}
+			s.setHome[a.TaskObj] = sv
+		}
+		return ClassTaskSet, sv, s.slotOf(a.TaskObj), a.TaskObj
+	case AffObject:
+		return ClassObjectBound, s.homeServer(a.ObjectObj), s.slotOf(a.ObjectObj), a.ObjectObj
+	case AffTaskObject:
+		// Memory locality on the OBJECT operand, cache reuse grouping on
+		// the TASK operand.
+		return ClassObjectBound, s.homeServer(a.ObjectObj), s.slotOf(a.TaskObj), a.TaskObj
+	case AffProcessor:
+		p := a.Processor % s.Cfg.Processors
+		if p < 0 {
+			p += s.Cfg.Processors
+		}
+		return ClassProcessor, p, -1, 0
+	}
+	panic(fmt.Sprintf("core: unknown affinity kind %d", a.Kind))
+}
+
+// leastLoaded returns the server with the fewest queued tasks (ties go
+// to the lowest id).
+func (s *Scheduler) leastLoaded() int {
+	best := 0
+	for i, sv := range s.Srv {
+		if sv.queued < s.Srv[best].queued {
+			best = i
+		}
+	}
+	return best
+}
+
+// SetClusterStealingOnly flips the cluster-stealing restriction at run
+// time — the paper's Panel Cholesky experiment controls this "through a
+// runtime flag that can be dynamically manipulated by the programmer"
+// (§6.3).
+func (s *Scheduler) SetClusterStealingOnly(on bool) {
+	s.Pol.ClusterStealingOnly = on
+}
+
+// Enqueue places a ready task on its server's queues and wakes idle
+// processors. now is the simulated time the task became available.
+func (s *Scheduler) Enqueue(td *TaskDesc, now int64) {
+	sv := s.Srv[td.Server]
+	if td.Slot >= 0 {
+		q := &sv.slots[td.Slot]
+		q.push(td)
+		sv.nonEmpty.add(q)
+	} else {
+		sv.plain.push(td)
+	}
+	sv.queued++
+	s.Trace.Add(now, -1, trace.KindEnqueue, td.T.Name, int64(td.Server))
+	s.wake(td.Server, now)
+}
+
+// Resume re-enqueues an unblocked continuation on the server it last ran
+// on and wakes idle processors.
+func (s *Scheduler) Resume(td *TaskDesc, now int64) {
+	s.Eng.Unblock(td.T, now)
+	sv := s.Srv[td.LastProc]
+	sv.resume.push(td)
+	sv.queued++
+	s.Trace.Add(now, -1, trace.KindReady, td.T.Name, int64(td.LastProc))
+	s.wake(td.LastProc, now)
+}
+
+// wake notifies the preferred server immediately and other idle
+// processors after the idle-poll delay, so a task's home server gets
+// first crack at it before thieves do.
+func (s *Scheduler) wake(server int, now int64) {
+	s.Eng.NotifyProc(s.Eng.Procs[server], now)
+	if !s.Pol.DisableStealing {
+		s.Eng.NotifyWork(now + s.Cfg.Lat.IdlePoll)
+	}
+}
+
+// Dispatch implements sim.Dispatcher: local queues first (continuations,
+// then the task-affinity slot being drained back to back, then other
+// non-empty slots, then the plain queue), then stealing.
+func (s *Scheduler) Dispatch(p *sim.Proc) *sim.Task {
+	sv := s.Srv[p.ID]
+	lat := s.Cfg.Lat
+
+	if td := s.takeLocal(sv); td != nil {
+		p.Clock += lat.Dispatch
+		return s.issue(td, p)
+	}
+	if td := s.steal(p, sv); td != nil {
+		p.Clock += lat.Dispatch
+		return s.issue(td, p)
+	}
+	return nil
+}
+
+// takeLocal removes the next task from sv's own queues.
+func (s *Scheduler) takeLocal(sv *server) *TaskDesc {
+	if td := sv.resume.pop(); td != nil {
+		sv.queued--
+		return td
+	}
+	// Drain the current task-affinity queue back to back.
+	if sv.cur != nil && !sv.cur.empty() {
+		td := sv.cur.pop()
+		s.afterSlotPop(sv, sv.cur)
+		sv.queued--
+		return td
+	}
+	sv.cur = nil
+	if q := sv.nonEmpty.head; q != nil {
+		td := q.pop()
+		s.afterSlotPop(sv, q)
+		if !q.empty() {
+			sv.cur = q
+		}
+		sv.queued--
+		return td
+	}
+	if td := sv.plain.pop(); td != nil {
+		sv.queued--
+		return td
+	}
+	return nil
+}
+
+func (s *Scheduler) afterSlotPop(sv *server, q *taskQueue) {
+	if q.empty() {
+		sv.nonEmpty.removeQ(q)
+		if sv.cur == q {
+			sv.cur = nil
+		}
+	}
+}
+
+// steal scans victims for work, preferring whole task-affinity sets, then
+// plain tasks, then continuations, and finally (reluctantly)
+// object-affinity tasks.
+func (s *Scheduler) steal(p *sim.Proc, thief *server) *TaskDesc {
+	if s.Pol.DisableStealing {
+		return nil
+	}
+	ctr := &s.Mon.Per[p.ID]
+	lat := s.Cfg.Lat
+	for _, vid := range s.victimOrder(p.ID) {
+		v := s.Srv[vid]
+		if v.queued == 0 {
+			continue
+		}
+		local := s.Cfg.SameCluster(p.ID, vid)
+		ctr.StealTries++
+		if local {
+			p.Clock += lat.StealLocal
+		} else {
+			p.Clock += lat.StealRemote
+		}
+		td := s.stealFrom(v, thief, p.ID)
+		if td == nil {
+			continue
+		}
+		if local {
+			ctr.StealsLocal++
+		} else {
+			ctr.StealsRemote++
+		}
+		s.Trace.Add(p.Clock, p.ID, trace.KindSteal, td.T.Name, int64(vid))
+		return td
+	}
+	return nil
+}
+
+// victimOrder returns the servers to probe. Same-cluster victims come
+// first when ClusterStealFirst is set; remote victims are omitted when
+// ClusterStealingOnly is set.
+func (s *Scheduler) victimOrder(thief int) []int {
+	n := s.Cfg.Processors
+	order := make([]int, 0, n-1)
+	if s.Pol.ClusterStealFirst || s.Pol.ClusterStealingOnly {
+		for d := 1; d < n; d++ {
+			v := (thief + d) % n
+			if s.Cfg.SameCluster(thief, v) {
+				order = append(order, v)
+			}
+		}
+		if !s.Pol.ClusterStealingOnly {
+			for d := 1; d < n; d++ {
+				v := (thief + d) % n
+				if !s.Cfg.SameCluster(thief, v) {
+					order = append(order, v)
+				}
+			}
+		}
+		return order
+	}
+	for d := 1; d < n; d++ {
+		order = append(order, (thief+d)%n)
+	}
+	return order
+}
+
+// stealFrom takes work from victim v for the thief. Preference order:
+// a whole task-affinity set, a plain task, a continuation, and finally a
+// single object-bound task if policy permits.
+func (s *Scheduler) stealFrom(v, thief *server, thiefID int) *TaskDesc {
+	// A whole task-affinity set (ClassTaskSet at the head of some slot).
+	if s.Pol.StealWholeSets {
+		for q := v.nonEmpty.head; q != nil; q = q.nextQ {
+			head := q.head
+			if head == nil || head.Class != ClassTaskSet {
+				continue
+			}
+			obj := head.AffObj
+			var moved []*TaskDesc
+			for {
+				td := q.popMatching(obj)
+				if td == nil {
+					break
+				}
+				moved = append(moved, td)
+			}
+			s.afterSlotPop(v, q)
+			v.queued -= len(moved)
+			s.setHome[obj] = thiefID
+			first := moved[0]
+			for _, td := range moved[1:] {
+				td.Server = thiefID
+				tq := &thief.slots[td.Slot]
+				tq.push(td)
+				thief.nonEmpty.add(tq)
+				thief.queued++
+			}
+			first.Server = thiefID
+			if len(moved) > 1 {
+				thief.cur = &thief.slots[first.Slot]
+			}
+			s.Mon.Per[thiefID].SetSteals++
+			return first
+		}
+	}
+	// A plain or processor-affinity task. Explicitly placed
+	// (processor-affinity) tasks are taken only from a backlogged
+	// victim: with a single queued task, its own server will service it
+	// promptly, and moving it defeats the placement.
+	if td := v.plain.head; td != nil {
+		if td.Class != ClassProcessor || v.queued >= 2 {
+			v.plain.remove(td)
+			v.queued--
+			return td
+		}
+	}
+	// A parked continuation.
+	if td := v.resume.pop(); td != nil {
+		v.queued--
+		return td
+	}
+	// Last resort: one object-bound (or task-set, if set stealing is
+	// off) task from some slot. Object-affinity tasks "should
+	// preferably not be stolen" (§4.2): take one only from a
+	// backlogged victim.
+	for q := v.nonEmpty.head; q != nil; q = q.nextQ {
+		head := q.head
+		if head == nil {
+			continue
+		}
+		if head.Class == ClassObjectBound && (!s.Pol.StealObjectBound || v.queued < 2) {
+			continue
+		}
+		q.remove(head)
+		s.afterSlotPop(v, q)
+		v.queued--
+		return head
+	}
+	return nil
+}
+
+// issue finalizes a dispatch decision: perfmon accounting and bookkeeping.
+func (s *Scheduler) issue(td *TaskDesc, p *sim.Proc) *sim.Task {
+	td.LastProc = p.ID
+	if !td.dispatched {
+		td.dispatched = true
+		ctr := &s.Mon.Per[p.ID]
+		ctr.TasksRun++
+		if td.Server == p.ID {
+			ctr.TasksAtHome++
+		}
+	}
+	s.Trace.Add(p.Clock, p.ID, trace.KindRun, td.T.Name, 0)
+	return td.T
+}
+
+// TraceBlock records that the running task parked (called by the
+// synchronization objects and the public runtime).
+func (s *Scheduler) TraceBlock(ctx *sim.Ctx) {
+	s.Trace.Add(ctx.Now(), ctx.Proc().ID, trace.KindBlock, ctx.Task().Name, 0)
+}
+
+// TraceDone records task completion (called by the task wrapper).
+func (s *Scheduler) TraceDone(ctx *sim.Ctx) {
+	s.Trace.Add(ctx.Now(), ctx.Proc().ID, trace.KindDone, ctx.Task().Name, 0)
+}
+
+// QueuedTasks returns the number of tasks currently enqueued machine-wide
+// (diagnostics and tests).
+func (s *Scheduler) QueuedTasks() int {
+	n := 0
+	for _, sv := range s.Srv {
+		n += sv.queued
+	}
+	return n
+}

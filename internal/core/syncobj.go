@@ -1,0 +1,137 @@
+package core
+
+import "github.com/coolrts/cool/internal/sim"
+
+// Desc returns the scheduler descriptor of the task running in ctx.
+func Desc(ctx *sim.Ctx) *TaskDesc {
+	return ctx.Task().Data.(*TaskDesc)
+}
+
+// Monitor serializes COOL mutex functions on an object. The zero value is
+// an unlocked monitor; Addr associates it with a simulated object so
+// locking can be charged to the memory system by higher layers.
+type Monitor struct {
+	Addr    int64
+	owner   *TaskDesc
+	waiters []*TaskDesc
+}
+
+// Locked reports whether the monitor is currently held.
+func (m *Monitor) Locked() bool { return m.owner != nil }
+
+// Lock acquires m for the running task, blocking (and yielding the
+// processor to other tasks) while another task holds it.
+func (s *Scheduler) Lock(ctx *sim.Ctx, m *Monitor) {
+	ctx.SyncPoint()
+	ctx.Charge(s.Cfg.Lat.LockOp)
+	td := Desc(ctx)
+	if m.owner == nil {
+		m.owner = td
+		return
+	}
+	if m.owner == td {
+		panic("core: recursive monitor acquisition")
+	}
+	m.waiters = append(m.waiters, td)
+	s.Mon.Per[ctx.Proc().ID].LockBlocks++
+	s.TraceBlock(ctx)
+	ctx.Block()
+	// Ownership was transferred to us by Unlock before we resumed.
+}
+
+// Unlock releases m, handing it to the oldest waiter if any.
+func (s *Scheduler) Unlock(ctx *sim.Ctx, m *Monitor) {
+	ctx.SyncPoint()
+	ctx.Charge(s.Cfg.Lat.LockOp)
+	if m.owner != Desc(ctx) {
+		panic("core: unlocking a monitor the task does not hold")
+	}
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.owner = w
+		s.Resume(w, ctx.Now()+s.Cfg.Lat.Wakeup)
+		return
+	}
+	m.owner = nil
+}
+
+// Cond is a COOL condition variable with Mesa (signal-and-continue)
+// semantics, used with a Monitor.
+type Cond struct {
+	waiters []*TaskDesc
+}
+
+// Wait atomically releases m and blocks until signalled, then reacquires
+// m before returning.
+func (s *Scheduler) Wait(ctx *sim.Ctx, c *Cond, m *Monitor) {
+	c.waiters = append(c.waiters, Desc(ctx))
+	s.Unlock(ctx, m)
+	s.TraceBlock(ctx)
+	ctx.Block()
+	s.Lock(ctx, m)
+}
+
+// Signal wakes the oldest waiter, if any.
+func (s *Scheduler) Signal(ctx *sim.Ctx, c *Cond) {
+	ctx.SyncPoint()
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	s.Resume(w, ctx.Now()+s.Cfg.Lat.Wakeup)
+}
+
+// Broadcast wakes every waiter.
+func (s *Scheduler) Broadcast(ctx *sim.Ctx, c *Cond) {
+	ctx.SyncPoint()
+	for _, w := range c.waiters {
+		s.Resume(w, ctx.Now()+s.Cfg.Lat.Wakeup)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Scope implements COOL's waitfor: it counts every task created in its
+// dynamic extent (spawns inherit the scope transitively) and lets one
+// task block until the count drains to zero.
+type Scope struct {
+	count  int
+	waiter *TaskDesc
+}
+
+// Pending returns the number of outstanding tasks in the scope.
+func (sc *Scope) Pending() int { return sc.count }
+
+// ScopeAdd records a task created inside sc.
+func (s *Scheduler) ScopeAdd(sc *Scope) { sc.count++ }
+
+// ScopeDone records completion of a task belonging to sc, waking the
+// waitfor-blocked task when the scope drains.
+func (s *Scheduler) ScopeDone(ctx *sim.Ctx, sc *Scope) {
+	ctx.SyncPoint()
+	sc.count--
+	if sc.count < 0 {
+		panic("core: waitfor scope count underflow")
+	}
+	if sc.count == 0 && sc.waiter != nil {
+		w := sc.waiter
+		sc.waiter = nil
+		s.Resume(w, ctx.Now()+s.Cfg.Lat.Wakeup)
+	}
+}
+
+// ScopeWait blocks the running task until the scope drains. Only one task
+// may wait on a scope (the one that opened the waitfor).
+func (s *Scheduler) ScopeWait(ctx *sim.Ctx, sc *Scope) {
+	ctx.SyncPoint()
+	if sc.count == 0 {
+		return
+	}
+	if sc.waiter != nil {
+		panic("core: multiple waiters on one waitfor scope")
+	}
+	sc.waiter = Desc(ctx)
+	s.TraceBlock(ctx)
+	ctx.Block()
+}

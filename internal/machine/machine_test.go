@@ -1,0 +1,75 @@
+package machine
+
+import "testing"
+
+func TestDASHDefaultsValid(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16, 24, 32, 64} {
+		if err := DASH(p).Validate(); err != nil {
+			t.Errorf("DASH(%d): %v", p, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero procs", func(c *Config) { c.Processors = 0 }},
+		{"too many procs", func(c *Config) { c.Processors = 65 }},
+		{"zero cluster", func(c *Config) { c.ClusterSize = 0 }},
+		{"line not power of two", func(c *Config) { c.LineSize = 48 }},
+		{"page smaller than line", func(c *Config) { c.PageSize = 32 }},
+		{"zero quantum", func(c *Config) { c.Quantum = 0 }},
+		{"zero cache", func(c *Config) { c.L1.Size = 0 }},
+		{"L1 bigger than L2", func(c *Config) { c.L1.Size = 1 << 20 }},
+		{"non-pow2 sets", func(c *Config) { c.L1 = CacheGeometry{Size: 3 * 64 * 2, Assoc: 2} }},
+	}
+	for _, tc := range cases {
+		cfg := DASH(8)
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestClusterTopology(t *testing.T) {
+	c := DASH(32)
+	if got := c.Clusters(); got != 8 {
+		t.Fatalf("Clusters() = %d, want 8", got)
+	}
+	if got := c.ClusterOf(0); got != 0 {
+		t.Errorf("ClusterOf(0) = %d", got)
+	}
+	if got := c.ClusterOf(7); got != 1 {
+		t.Errorf("ClusterOf(7) = %d, want 1", got)
+	}
+	if got := c.ClusterOf(31); got != 7 {
+		t.Errorf("ClusterOf(31) = %d, want 7", got)
+	}
+	if !c.SameCluster(4, 7) {
+		t.Error("4 and 7 should share a cluster")
+	}
+	if c.SameCluster(3, 4) {
+		t.Error("3 and 4 should not share a cluster")
+	}
+}
+
+func TestPartialClusterCounts(t *testing.T) {
+	c := DASH(6) // one full cluster of 4 plus a partial cluster of 2
+	if got := c.Clusters(); got != 2 {
+		t.Fatalf("Clusters() = %d, want 2", got)
+	}
+	if got := c.ClusterOf(5); got != 1 {
+		t.Fatalf("ClusterOf(5) = %d, want 1", got)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	// The paper's whole argument rests on this ordering.
+	l := DASHLatencies()
+	if !(l.L1Hit < l.L2Hit && l.L2Hit < l.LocalMem && l.LocalMem < l.RemoteMem && l.RemoteMem <= l.RemoteDirty) {
+		t.Fatalf("latency hierarchy out of order: %+v", l)
+	}
+}

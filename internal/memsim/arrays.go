@@ -1,0 +1,55 @@
+package memsim
+
+// F64 is a simulated-memory array of float64. Data holds the real values;
+// Base is the simulated address of element 0. Element i lives at simulated
+// address Base + 8*i.
+type F64 struct {
+	Base int64
+	Data []float64
+}
+
+// NewF64 allocates an n-element float64 array homed at processor proc.
+func (s *Space) NewF64(n int, proc int) *F64 {
+	return &F64{Base: s.Alloc(int64(n)*8, proc), Data: make([]float64, n)}
+}
+
+// NewF64Pages allocates a page-aligned float64 array (independently
+// migratable).
+func (s *Space) NewF64Pages(n int, proc int) *F64 {
+	return &F64{Base: s.AllocPages(int64(n)*8, proc), Data: make([]float64, n)}
+}
+
+// Addr returns the simulated address of element i.
+func (a *F64) Addr(i int) int64 { return a.Base + int64(i)*8 }
+
+// Len returns the number of elements.
+func (a *F64) Len() int { return len(a.Data) }
+
+// I64 is a simulated-memory array of int64.
+type I64 struct {
+	Base int64
+	Data []int64
+}
+
+// NewI64 allocates an n-element int64 array homed at processor proc.
+func (s *Space) NewI64(n int, proc int) *I64 {
+	return &I64{Base: s.Alloc(int64(n)*8, proc), Data: make([]int64, n)}
+}
+
+// Addr returns the simulated address of element i.
+func (a *I64) Addr(i int) int64 { return a.Base + int64(i)*8 }
+
+// Len returns the number of elements.
+func (a *I64) Len() int { return len(a.Data) }
+
+// Obj is a handle to an untyped simulated object (a record whose fields
+// the application models at byte offsets).
+type Obj struct {
+	Base int64
+	Size int64
+}
+
+// NewObj allocates a size-byte object homed at processor proc.
+func (s *Space) NewObj(size int64, proc int) Obj {
+	return Obj{Base: s.Alloc(size, proc), Size: size}
+}

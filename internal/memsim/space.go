@@ -1,0 +1,155 @@
+// Package memsim models the shared address space of the simulated
+// machine. Memory is paged; every page has a home processor whose cluster
+// memory services misses to it. Objects are allocated at simulated
+// addresses while their contents live in ordinary Go slices, so
+// applications compute real results while the simulator charges realistic
+// memory latencies.
+//
+// Following the paper, placed allocation (new(proc)) and migrate(obj,
+// proc) name a processor; the page records that processor as the object's
+// home (the paper's footnote 3: the runtime keeps an object's location in
+// a variable rather than asking the OS), and the page physically lives in
+// that processor's cluster memory. Migration operates on whole pages
+// (footnote 2).
+package memsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/coolrts/cool/internal/machine"
+)
+
+// arenaShift positions each cluster's allocation arena in a disjoint
+// region of the simulated address space.
+const arenaShift = 36
+
+// Space is the simulated shared address space.
+type Space struct {
+	pageSize    int64
+	pageShift   uint
+	clusters    int
+	clusterSize int
+	procs       int
+	next        []int64         // per-cluster bump pointer
+	pageProc    map[int64]int32 // page index -> home processor
+}
+
+// New creates an address space for the given machine.
+func New(cfg machine.Config) *Space {
+	s := &Space{
+		pageSize:    int64(cfg.PageSize),
+		pageShift:   uint(bits.TrailingZeros64(uint64(cfg.PageSize))),
+		clusters:    cfg.Clusters(),
+		clusterSize: cfg.ClusterSize,
+		procs:       cfg.Processors,
+		pageProc:    make(map[int64]int32),
+	}
+	s.next = make([]int64, s.clusters)
+	for c := range s.next {
+		// Skip the first page of each arena so address 0 is never valid.
+		s.next[c] = int64(c+1)<<arenaShift + s.pageSize
+	}
+	return s
+}
+
+// Clusters returns the number of memory modules (clusters).
+func (s *Space) Clusters() int { return s.clusters }
+
+// PageSize returns the migration granularity in bytes.
+func (s *Space) PageSize() int64 { return s.pageSize }
+
+func (s *Space) checkProc(proc int) {
+	if proc < 0 || proc >= s.procs {
+		panic(fmt.Sprintf("memsim: processor %d out of range [0,%d)", proc, s.procs))
+	}
+}
+
+// clusterOf maps a processor to its cluster.
+func (s *Space) clusterOf(proc int) int { return proc / s.clusterSize }
+
+// Alloc reserves size bytes homed at processor proc and returns the base
+// address. Allocations are 64-byte aligned; small objects may share a
+// page, as on a real machine (the page keeps the first allocator's home).
+func (s *Space) Alloc(size int64, proc int) int64 {
+	if size <= 0 {
+		panic("memsim: allocation size must be positive")
+	}
+	s.checkProc(proc)
+	cluster := s.clusterOf(proc)
+	const align = 64
+	base := (s.next[cluster] + align - 1) &^ (align - 1)
+	s.next[cluster] = base + size
+	s.recordPages(base, size, proc, false)
+	return base
+}
+
+// AllocPages reserves size bytes rounded up to whole pages, so the object
+// can later be migrated without dragging page-mates along.
+func (s *Space) AllocPages(size int64, proc int) int64 {
+	if size <= 0 {
+		panic("memsim: allocation size must be positive")
+	}
+	s.checkProc(proc)
+	cluster := s.clusterOf(proc)
+	base := (s.next[cluster] + s.pageSize - 1) &^ (s.pageSize - 1)
+	s.next[cluster] = base + (size+s.pageSize-1)&^(s.pageSize-1)
+	s.recordPages(base, size, proc, false)
+	return base
+}
+
+// recordPages stores the home processor of every page spanned by
+// [addr, addr+size). When overwrite is false, pages that already have a
+// home (shared with an earlier small allocation) keep it.
+func (s *Space) recordPages(addr, size int64, proc int, overwrite bool) {
+	first := addr >> s.pageShift
+	last := (addr + size - 1) >> s.pageShift
+	for pg := first; pg <= last; pg++ {
+		if !overwrite {
+			if _, ok := s.pageProc[pg]; ok {
+				continue
+			}
+		}
+		s.pageProc[pg] = int32(proc)
+	}
+}
+
+// Migrate re-homes every page spanned by [addr, addr+size) to processor
+// proc's memory. It returns the number of pages moved.
+func (s *Space) Migrate(addr, size int64, proc int) int {
+	s.checkProc(proc)
+	if size <= 0 {
+		panic("memsim: migrate size must be positive")
+	}
+	s.recordPages(addr, size, proc, true)
+	first := addr >> s.pageShift
+	last := (addr + size - 1) >> s.pageShift
+	return int(last - first + 1)
+}
+
+// HomeProc returns the processor that homes the page containing addr.
+func (s *Space) HomeProc(addr int64) int {
+	if p, ok := s.pageProc[addr>>s.pageShift]; ok {
+		return int(p)
+	}
+	// Unrecorded page: attribute it to the first processor of the
+	// arena's cluster.
+	return s.arenaCluster(addr) * s.clusterSize
+}
+
+// HomeCluster returns the cluster whose local memory holds the page
+// containing addr (the unit the cache model charges against).
+func (s *Space) HomeCluster(addr int64) int {
+	if p, ok := s.pageProc[addr>>s.pageShift]; ok {
+		return s.clusterOf(int(p))
+	}
+	return s.arenaCluster(addr)
+}
+
+func (s *Space) arenaCluster(addr int64) int {
+	c := int(addr>>arenaShift) - 1
+	if c < 0 || c >= s.clusters {
+		panic(fmt.Sprintf("memsim: address %#x outside any arena", addr))
+	}
+	return c
+}

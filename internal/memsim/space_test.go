@@ -1,0 +1,161 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/coolrts/cool/internal/machine"
+)
+
+func newSpace(t *testing.T, procs int) *Space {
+	t.Helper()
+	cfg := machine.DASH(procs)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return New(cfg)
+}
+
+func TestAllocHomesAtRequestedProc(t *testing.T) {
+	s := newSpace(t, 32)
+	for p := 0; p < 32; p++ {
+		addr := s.AllocPages(128, p)
+		if got := s.HomeProc(addr); got != p {
+			t.Errorf("alloc at proc %d homed at %d", p, got)
+		}
+		if got := s.HomeCluster(addr); got != p/4 {
+			t.Errorf("alloc at proc %d in cluster %d, want %d", p, got, p/4)
+		}
+	}
+}
+
+func TestSamePageKeepsFirstHome(t *testing.T) {
+	// Small allocations sharing a page keep the first allocator's home,
+	// as on a real paged machine.
+	s := newSpace(t, 8)
+	a := s.Alloc(64, 1)
+	b := s.Alloc(64, 2) // same cluster (0), may share a's page
+	if a>>12 == b>>12 && s.HomeProc(b) != 1 {
+		t.Fatalf("page-mate changed the page home to %d", s.HomeProc(b))
+	}
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	s := newSpace(t, 8)
+	type span struct{ lo, hi int64 }
+	var spans []span
+	for i := 0; i < 100; i++ {
+		sz := int64(1 + i*37%500)
+		a := s.Alloc(sz, i%8)
+		spans = append(spans, span{a, a + sz})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Fatalf("allocations %d and %d overlap: %+v %+v", i, j, spans[i], spans[j])
+			}
+		}
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	s := newSpace(t, 8)
+	for i := 0; i < 20; i++ {
+		a := s.Alloc(int64(i*13+1), 0)
+		if a%64 != 0 {
+			t.Fatalf("allocation %d not 64-byte aligned: %#x", i, a)
+		}
+	}
+}
+
+func TestAllocPagesIsPageAligned(t *testing.T) {
+	s := newSpace(t, 8)
+	s.Alloc(100, 1) // disturb the bump pointer
+	a := s.AllocPages(100, 1)
+	if a%s.PageSize() != 0 {
+		t.Fatalf("AllocPages returned %#x, not page aligned", a)
+	}
+}
+
+func TestMigrateRehomesAllSpannedPages(t *testing.T) {
+	s := newSpace(t, 32)
+	size := 3*s.PageSize() + 100
+	addr := s.AllocPages(size, 0)
+	n := s.Migrate(addr, size, 21)
+	if n != 4 {
+		t.Fatalf("Migrate moved %d pages, want 4", n)
+	}
+	for off := int64(0); off < size; off += s.PageSize() / 2 {
+		if got := s.HomeProc(addr + off); got != 21 {
+			t.Fatalf("offset %d homed at %d, want 21", off, got)
+		}
+		if got := s.HomeCluster(addr + off); got != 5 {
+			t.Fatalf("offset %d in cluster %d, want 5", off, got)
+		}
+	}
+}
+
+func TestMigratePreservesHomeUnderComposition(t *testing.T) {
+	// Property: the last migration wins, for any sequence of targets.
+	s := newSpace(t, 32)
+	addr := s.AllocPages(100, 0)
+	f := func(targets []uint8) bool {
+		last := 0
+		for _, tg := range targets {
+			p := int(tg) % 32
+			s.Migrate(addr, 100, p)
+			last = p
+		}
+		return s.HomeProc(addr) == last || len(targets) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroAddressNeverAllocated(t *testing.T) {
+	s := newSpace(t, 8)
+	for i := 0; i < 10; i++ {
+		if a := s.Alloc(64, i%8); a == 0 {
+			t.Fatal("allocated address 0")
+		}
+	}
+}
+
+func TestArrays(t *testing.T) {
+	s := newSpace(t, 8)
+	f := s.NewF64(100, 5)
+	if f.Len() != 100 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if f.Addr(3) != f.Base+24 {
+		t.Fatalf("Addr(3) = %d, want base+24", f.Addr(3))
+	}
+	if got := s.HomeProc(f.Addr(0)); got != 5 {
+		t.Fatalf("array homed at %d", got)
+	}
+	i := s.NewI64(10, 0)
+	if i.Addr(2)-i.Base != 16 {
+		t.Fatal("I64 addressing wrong")
+	}
+	o := s.NewObj(256, 4)
+	if o.Size != 256 || s.HomeCluster(o.Base) != 1 {
+		t.Fatalf("Obj = %+v homed %d", o, s.HomeCluster(o.Base))
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	s := newSpace(t, 8)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("alloc zero", func() { s.Alloc(0, 0) })
+	mustPanic("alloc bad proc", func() { s.Alloc(64, 99) })
+	mustPanic("migrate bad proc", func() { s.Migrate(s.Alloc(64, 0), 64, -1) })
+	mustPanic("home outside arena", func() { s.HomeCluster(1) })
+}

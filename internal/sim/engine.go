@@ -1,0 +1,309 @@
+// Package sim implements a deterministic execution-driven simulation
+// engine. Application code runs as coroutines (one goroutine resumed at a
+// time by a single engine loop), charging simulated cycles to per-processor
+// clocks. The engine interleaves processors in virtual-time order at a
+// configurable quantum, so a run is fully reproducible for a given seed.
+//
+// The engine knows nothing about scheduling policy: when a processor is
+// idle it asks a Dispatcher for the next task. The COOL runtime supplies
+// the Dispatcher and implements the paper's queue structures on top.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Dispatcher supplies tasks to idle processors. Dispatch may charge
+// scheduling costs by advancing p.Clock; it returns nil when no work is
+// available, in which case the processor parks until NotifyWork is called.
+type Dispatcher interface {
+	Dispatch(p *Proc) *Task
+}
+
+// Proc is one simulated processor. Clock is its local cycle counter.
+type Proc struct {
+	ID    int
+	Clock int64
+
+	// Accounting.
+	Busy  int64 // cycles spent running tasks
+	Idle  int64 // cycles spent parked with no work
+	Tasks int64 // tasks executed to completion on this processor
+
+	eng           *Engine
+	cur           *Task
+	parked        bool
+	idleSince     int64
+	dispatchQ     bool  // a dispatch event is pending
+	dispatchAt    int64 // time of the pending dispatch event
+	dispatchEpoch uint64
+}
+
+// Engine drives the simulation.
+type Engine struct {
+	Procs []*Proc
+	Rand  *rand.Rand
+
+	quantum int64
+	events  eventHeap
+	seq     uint64
+	now     int64
+	disp    Dispatcher
+
+	liveTasks int
+	blocked   map[*Task]struct{}
+	started   bool
+	failure   error
+}
+
+// New creates an engine with n processors.
+func New(n int, quantum int64, seed int64) *Engine {
+	if n <= 0 {
+		panic("sim: engine needs at least one processor")
+	}
+	if quantum <= 0 {
+		panic("sim: quantum must be positive")
+	}
+	e := &Engine{
+		Rand:    rand.New(rand.NewSource(seed)),
+		quantum: quantum,
+		blocked: make(map[*Task]struct{}),
+	}
+	e.Procs = make([]*Proc, n)
+	for i := range e.Procs {
+		e.Procs[i] = &Proc{ID: i, eng: e, parked: true}
+	}
+	return e
+}
+
+// SetDispatcher installs the scheduling policy. Must be called before Run.
+func (e *Engine) SetDispatcher(d Dispatcher) { e.disp = d }
+
+// Now returns the time of the event currently being processed.
+func (e *Engine) Now() int64 { return e.now }
+
+// MaxClock returns the largest processor clock, i.e. the parallel
+// execution time of everything simulated so far.
+func (e *Engine) MaxClock() int64 {
+	var m int64
+	for _, p := range e.Procs {
+		if p.Clock > m {
+			m = p.Clock
+		}
+	}
+	return m
+}
+
+// hasEarlierEvent reports whether an event strictly before time t is
+// pending.
+func (e *Engine) hasEarlierEvent(t int64) bool {
+	return len(e.events) > 0 && e.events[0].time < t
+}
+
+// at schedules fn to run at simulated time t (clamped to now).
+func (e *Engine) at(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// NotifyWork wakes every parked processor: new work became available at
+// time t. Each woken processor will call the Dispatcher.
+func (e *Engine) NotifyWork(t int64) {
+	for _, p := range e.Procs {
+		if p.parked {
+			e.queueDispatch(p, t)
+		}
+	}
+}
+
+// NotifyProc wakes a single parked processor (used for targeted handoff).
+func (e *Engine) NotifyProc(p *Proc, t int64) {
+	if p.parked {
+		e.queueDispatch(p, t)
+	}
+}
+
+// queueDispatch arranges for p to call the Dispatcher at time t. An
+// earlier request supersedes a pending later one (the stale event is
+// skipped via the epoch check); a later request while an earlier one is
+// pending is dropped.
+func (e *Engine) queueDispatch(p *Proc, t int64) {
+	if t < p.Clock {
+		t = p.Clock
+	}
+	if p.dispatchQ && p.dispatchAt <= t {
+		return
+	}
+	p.dispatchQ = true
+	p.dispatchAt = t
+	p.dispatchEpoch++
+	epoch := p.dispatchEpoch
+	e.at(t, func() {
+		if p.dispatchEpoch != epoch {
+			return // superseded by an earlier wake
+		}
+		e.dispatch(p)
+	})
+}
+
+// dispatch asks the Dispatcher for work for processor p.
+func (e *Engine) dispatch(p *Proc) {
+	p.dispatchQ = false
+	if p.cur != nil || e.failure != nil {
+		return
+	}
+	if e.now > p.Clock {
+		if p.parked {
+			p.Idle += e.now - p.Clock
+		}
+		p.Clock = e.now
+	}
+	t := e.disp.Dispatch(p)
+	if t == nil {
+		if !p.parked {
+			p.parked = true
+			p.idleSince = p.Clock
+		}
+		return
+	}
+	if p.parked {
+		p.parked = false
+	}
+	e.runOn(p, t)
+}
+
+// runOn starts or resumes task t on processor p.
+func (e *Engine) runOn(p *Proc, t *Task) {
+	if t.done {
+		panic("sim: dispatching a completed task")
+	}
+	delete(e.blocked, t)
+	p.cur = t
+	t.ctx.proc = p
+	if t.ctx.readyAt > p.Clock {
+		// The processor had nothing runnable until the task became
+		// ready; the gap is idle time.
+		p.Idle += t.ctx.readyAt - p.Clock
+		p.Clock = t.ctx.readyAt
+	}
+	t.ctx.sliceEnd = p.Clock + e.quantum
+	e.resume(p, t)
+}
+
+// resume hands control to the task's coroutine and processes its yield.
+func (e *Engine) resume(p *Proc, t *Task) {
+	start := p.Clock
+	var st status
+	if !t.startedCoro {
+		t.startedCoro = true
+		go t.run()
+	}
+	t.resumeCh <- struct{}{}
+	st = <-t.statusCh
+	p.Busy += p.Clock - start
+	switch st {
+	case statusSlice:
+		// Task exhausted its quantum; requeue the slice so other
+		// processors with earlier clocks get to run first.
+		e.at(p.Clock, func() {
+			if p.cur == t {
+				t.ctx.sliceEnd = p.Clock + e.quantum
+				e.resume(p, t)
+			}
+		})
+	case statusBlocked:
+		p.cur = nil
+		e.blocked[t] = struct{}{}
+		e.queueDispatch(p, p.Clock)
+	case statusDone:
+		p.cur = nil
+		p.Tasks++
+		e.liveTasks--
+		e.queueDispatch(p, p.Clock)
+	case statusFailed:
+		p.cur = nil
+		e.liveTasks--
+		if e.failure == nil {
+			e.failure = t.err
+		}
+	}
+}
+
+// unblock makes a previously blocked task runnable again at time at. The
+// caller (the runtime) is responsible for having re-enqueued the task so a
+// Dispatcher call can find it, and for calling NotifyWork.
+func (e *Engine) unblock(t *Task, at int64) {
+	if t.ctx.readyAt < at {
+		t.ctx.readyAt = at
+	}
+	delete(e.blocked, t)
+}
+
+// Run processes events until none remain. It returns an error if a task
+// failed or if tasks remain blocked (deadlock).
+func (e *Engine) Run() error {
+	if e.disp == nil {
+		panic("sim: Run without a Dispatcher")
+	}
+	if e.started {
+		panic("sim: engine can only Run once")
+	}
+	e.started = true
+	for len(e.events) > 0 && e.failure == nil {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.time
+		ev.fn()
+	}
+	e.killRemaining()
+	if e.failure != nil {
+		return e.failure
+	}
+	if len(e.blocked) > 0 {
+		return fmt.Errorf("sim: deadlock: %d task(s) blocked forever (%s)", len(e.blocked), e.blockedNames())
+	}
+	if e.liveTasks > 0 {
+		return fmt.Errorf("sim: %d task(s) never ran to completion", e.liveTasks)
+	}
+	return nil
+}
+
+func (e *Engine) blockedNames() string {
+	names := make([]string, 0, len(e.blocked))
+	for t := range e.blocked {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	if len(names) > 8 {
+		names = names[:8]
+	}
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// killRemaining terminates parked coroutines so no goroutines leak after
+// a failed or deadlocked run.
+func (e *Engine) killRemaining() {
+	for t := range e.blocked {
+		if t.startedCoro && !t.done {
+			t.kill()
+		}
+	}
+	for _, p := range e.Procs {
+		if p.cur != nil && p.cur.startedCoro && !p.cur.done {
+			p.cur.kill()
+			p.cur = nil
+		}
+	}
+}

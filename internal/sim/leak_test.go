@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestNoGoroutineLeakAfterDeadlock verifies that parked coroutines are
+// killed when a run ends abnormally, so repeated failed simulations do
+// not accumulate goroutines.
+func TestNoGoroutineLeakAfterDeadlock(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		e := New(2, 1000, 1)
+		d := &fifoDisp{eng: e}
+		e.SetDispatcher(d)
+		for j := 0; j < 4; j++ {
+			d.add(e.NewTask("stuck", 0, func(c *Ctx) {
+				c.Charge(10)
+				c.Block() // never unblocked
+			}))
+		}
+		if err := e.Run(); err == nil {
+			t.Fatal("expected deadlock")
+		}
+	}
+	// Give killed goroutines a moment to exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+5 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d", baseline, runtime.NumGoroutine())
+}
+
+// TestNoGoroutineLeakAfterPanic verifies the same for failing tasks.
+func TestNoGoroutineLeakAfterPanic(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		e := New(2, 1000, 1)
+		d := &fifoDisp{eng: e}
+		e.SetDispatcher(d)
+		d.add(e.NewTask("sleeper", 0, func(c *Ctx) {
+			c.Charge(10)
+			c.Block() // parked when the failure hits
+		}))
+		d.add(e.NewTask("boom", 0, func(c *Ctx) {
+			c.Charge(20)
+			panic("fail")
+		}))
+		if err := e.Run(); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+5 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d", baseline, runtime.NumGoroutine())
+}
+
+// TestSyncPointOrdersEvents verifies that a task running ahead within its
+// quantum yields at a SyncPoint when earlier events are pending.
+func TestSyncPointOrdersEvents(t *testing.T) {
+	e := New(2, 100000, 1) // huge quantum: only SyncPoint can interleave
+	d := &fifoDisp{eng: e}
+	e.SetDispatcher(d)
+	var order []string
+	d.add(e.NewTask("ahead", 0, func(c *Ctx) {
+		c.Charge(5000) // run far ahead of the other task's start
+		c.SyncPoint()  // must let the earlier dispatch run first
+		order = append(order, "ahead-after-sync")
+	}))
+	d.add(e.NewTask("behind", 0, func(c *Ctx) {
+		c.Charge(10)
+		order = append(order, "behind")
+	}))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "behind" {
+		t.Fatalf("order = %v; SyncPoint did not yield to earlier events", order)
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+type status int
+
+const (
+	statusSlice   status = iota // quantum exhausted, still runnable
+	statusBlocked               // parked until Unblock
+	statusDone                  // ran to completion
+	statusFailed                // panicked
+)
+
+type killSentinelType struct{}
+
+var killSentinel = killSentinelType{}
+
+// Task is one schedulable unit of work: a coroutine with a name, a body,
+// and an execution context. Data is free for the runtime layered above
+// (the COOL scheduler stores its task descriptor there).
+type Task struct {
+	Name string
+	Data any
+
+	fn  func(*Ctx)
+	ctx *Ctx
+	err error
+
+	resumeCh    chan struct{}
+	statusCh    chan status
+	startedCoro bool
+	killed      bool
+	done        bool
+}
+
+// NewTask creates a task that becomes runnable no earlier than readyAt.
+// The task does not run until a Dispatcher hands it to a processor.
+func (e *Engine) NewTask(name string, readyAt int64, fn func(*Ctx)) *Task {
+	t := &Task{
+		Name:     name,
+		fn:       fn,
+		resumeCh: make(chan struct{}),
+		statusCh: make(chan status),
+	}
+	t.ctx = &Ctx{eng: e, task: t, readyAt: readyAt}
+	e.liveTasks++
+	return t
+}
+
+// Unblock marks a blocked task runnable at time `at`. The caller must make
+// the task reachable from its Dispatcher and call NotifyWork (or
+// NotifyProc) so an idle processor picks it up.
+func (e *Engine) Unblock(t *Task, at int64) { e.unblock(t, at) }
+
+// run is the coroutine body. It waits for the first resume, executes the
+// task function, and reports completion or failure.
+func (t *Task) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinelType); ok {
+				t.done = true
+				return
+			}
+			t.err = fmt.Errorf("sim: task %q panicked: %v\n%s", t.Name, r, debug.Stack())
+			t.done = true
+			t.statusCh <- statusFailed
+		}
+	}()
+	<-t.resumeCh
+	if t.killed {
+		panic(killSentinel)
+	}
+	t.fn(t.ctx)
+	t.done = true
+	t.statusCh <- statusDone
+}
+
+// kill terminates a parked coroutine (leak prevention after deadlock).
+func (t *Task) kill() {
+	if t.done || !t.startedCoro {
+		return
+	}
+	t.killed = true
+	t.resumeCh <- struct{}{}
+}
+
+// Ctx is the execution context handed to a running task. All simulated
+// costs flow through Charge; Block parks the task until Unblock.
+type Ctx struct {
+	eng      *Engine
+	task     *Task
+	proc     *Proc
+	readyAt  int64
+	sliceEnd int64
+}
+
+// Engine returns the engine executing this task.
+func (c *Ctx) Engine() *Engine { return c.eng }
+
+// Task returns the task this context belongs to.
+func (c *Ctx) Task() *Task { return c.task }
+
+// Proc returns the processor currently executing the task.
+func (c *Ctx) Proc() *Proc { return c.proc }
+
+// Now returns the task's current local time (its processor's clock).
+func (c *Ctx) Now() int64 { return c.proc.Clock }
+
+// Charge advances the processor clock by cycles, yielding to the engine
+// if the quantum is exhausted so other processors keep pace.
+func (c *Ctx) Charge(cycles int64) {
+	if cycles < 0 {
+		panic("sim: negative charge")
+	}
+	c.proc.Clock += cycles
+	if c.proc.Clock >= c.sliceEnd {
+		c.yield(statusSlice)
+	}
+}
+
+// Block parks the task. The caller must first have registered the task
+// somewhere an Unblock will find it (a wait list, a queue).
+func (c *Ctx) Block() {
+	c.yield(statusBlocked)
+}
+
+// SyncPoint yields to the engine if any event strictly earlier than this
+// processor's clock is pending, so that simulated-time ordering is exact
+// at synchronization operations (lock, unlock, signal, spawn). Without
+// it, a task that ran ahead within its quantum could observe
+// synchronization state from its own simulated future.
+func (c *Ctx) SyncPoint() {
+	if c.eng.hasEarlierEvent(c.proc.Clock) {
+		c.yield(statusSlice)
+	}
+}
+
+func (c *Ctx) yield(st status) {
+	c.task.statusCh <- st
+	<-c.task.resumeCh
+	if c.task.killed {
+		panic(killSentinel)
+	}
+}

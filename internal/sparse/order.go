@@ -1,0 +1,93 @@
+package sparse
+
+// Orderings. The paper's Cholesky codes (Rothberg & Gupta) factor
+// matrices whose elimination trees are bushy; a nested dissection
+// ordering of the grid Laplacian reproduces that shape (the natural
+// ordering yields an almost sequential chain with no tree parallelism).
+
+// NestedDissectionGrid returns a permutation of the k×k grid in nested
+// dissection order: perm[new] = old vertex index. Each recursion splits
+// the region with a one-cell separator ordered after both halves.
+func NestedDissectionGrid(k int) []int32 {
+	perm := make([]int32, 0, k*k)
+	var rec func(x0, x1, y0, y1 int)
+	rec = func(x0, x1, y0, y1 int) {
+		w, h := x1-x0, y1-y0
+		if w <= 0 || h <= 0 {
+			return
+		}
+		if w <= 2 && h <= 2 {
+			for x := x0; x < x1; x++ {
+				for y := y0; y < y1; y++ {
+					perm = append(perm, int32(x*k+y))
+				}
+			}
+			return
+		}
+		if w >= h {
+			mid := (x0 + x1) / 2
+			rec(x0, mid, y0, y1)
+			rec(mid+1, x1, y0, y1)
+			for y := y0; y < y1; y++ { // separator column, ordered last
+				perm = append(perm, int32(mid*k+y))
+			}
+			return
+		}
+		mid := (y0 + y1) / 2
+		rec(x0, x1, y0, mid)
+		rec(x0, x1, mid+1, y1)
+		for x := x0; x < x1; x++ {
+			perm = append(perm, int32(x*k+mid))
+		}
+	}
+	rec(0, k, 0, k)
+	return perm
+}
+
+// Permute returns P A Pᵀ for perm[new] = old, keeping the
+// lower-triangular sorted CSC invariants.
+func Permute(a *Sym, perm []int32) *Sym {
+	n := a.N
+	inv := make([]int32, n) // inv[old] = new
+	for newI, old := range perm {
+		inv[old] = int32(newI)
+	}
+	// Gather entries per new column.
+	type entry struct {
+		row int32
+		val float64
+	}
+	cols := make([][]entry, n)
+	for j := 0; j < n; j++ {
+		rows, vals := a.Col(j)
+		for p, i := range rows {
+			ni, nj := inv[i], inv[j]
+			if ni < nj {
+				ni, nj = nj, ni // keep lower triangle
+			}
+			cols[nj] = append(cols[nj], entry{ni, vals[p]})
+		}
+	}
+	out := &Sym{N: n, ColPtr: make([]int32, n+1)}
+	for j := 0; j < n; j++ {
+		es := cols[j]
+		// Insertion sort; columns are short.
+		for i := 1; i < len(es); i++ {
+			for q := i; q > 0 && es[q].row < es[q-1].row; q-- {
+				es[q], es[q-1] = es[q-1], es[q]
+			}
+		}
+		for _, e := range es {
+			out.RowIdx = append(out.RowIdx, e.row)
+			out.Val = append(out.Val, e.val)
+		}
+		out.ColPtr[j+1] = int32(len(out.RowIdx))
+	}
+	return out
+}
+
+// GridLaplacianND returns the k×k grid Laplacian in nested dissection
+// order — the standard Panel/Block Cholesky workload.
+func GridLaplacianND(k int) *Sym {
+	return Permute(GridLaplacian(k), NestedDissectionGrid(k))
+}

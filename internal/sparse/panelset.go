@@ -1,0 +1,149 @@
+package sparse
+
+import "sort"
+
+// PanelSet is an amalgamated supernodal partition of the factor: each
+// panel stores its columns as a dense trapezoid — column j holds rows
+// {j .. End-1} followed by the panel's shared Below rows. Small panels
+// are merged (relaxed amalgamation) by padding with explicit zeros;
+// padded entries provably remain zero throughout the factorization, so
+// the numeric result is unchanged while tasks become coarse enough to
+// amortize scheduling costs (exactly what supernodal codes do).
+type PanelSet struct {
+	S      *Symb
+	Panels []Panel
+	Below  [][]int32 // per panel: stored rows >= End, sorted
+	Owner  []int32   // column -> panel id
+	ColPtr []int64   // stored-layout offset of each column, length N+1
+}
+
+// BuildPanelSet computes strict supernodes and then greedily merges
+// adjacent panels while the zero padding introduced stays below
+// relaxFill of the merged panel's entries (and the width cap holds).
+func BuildPanelSet(s *Symb, maxWidth int, relaxFill float64) *PanelSet {
+	if maxWidth <= 0 {
+		maxWidth = 16
+	}
+	strict := Panels(s, maxWidth)
+
+	type work struct {
+		start, end int
+		below      []int32
+		size       int64
+	}
+	belowOf := func(p Panel) []int32 {
+		rows := s.LCol(p.Start)
+		i := sort.Search(len(rows), func(i int) bool { return int(rows[i]) >= p.End })
+		out := make([]int32, len(rows)-i)
+		copy(out, rows[i:])
+		return out
+	}
+	sizeOf := func(start, end int, below []int32) int64 {
+		w := int64(end - start)
+		return w*(w+1)/2 + w*int64(len(below))
+	}
+
+	var merged []work
+	for _, p := range strict {
+		b := belowOf(p)
+		cur := work{p.Start, p.End, b, sizeOf(p.Start, p.End, b)}
+		for len(merged) > 0 {
+			prev := merged[len(merged)-1]
+			if cur.end-prev.start > maxWidth {
+				break
+			}
+			// Structure of the merged panel: previous panel's below rows
+			// outside the absorbed column range, unioned with ours.
+			nb := unionBeyond(prev.below, cur.below, cur.end)
+			truth := prev.size + cur.size
+			ns := sizeOf(prev.start, cur.end, nb)
+			if float64(ns-truth) > relaxFill*float64(truth) {
+				break
+			}
+			cur = work{prev.start, cur.end, nb, ns}
+			merged = merged[:len(merged)-1]
+		}
+		merged = append(merged, cur)
+	}
+
+	ps := &PanelSet{S: s, Owner: make([]int32, s.N), ColPtr: make([]int64, s.N+1)}
+	for id, w := range merged {
+		ps.Panels = append(ps.Panels, Panel{ID: id, Start: w.start, End: w.end})
+		ps.Below = append(ps.Below, w.below)
+		for j := w.start; j < w.end; j++ {
+			ps.Owner[j] = int32(id)
+			ps.ColPtr[j+1] = ps.ColPtr[j] + int64(w.end-j+len(w.below))
+		}
+	}
+	return ps
+}
+
+// unionBeyond returns sorted union of a's entries >= cut with all of b.
+func unionBeyond(a, b []int32, cut int) []int32 {
+	i := sort.Search(len(a), func(i int) bool { return int(a[i]) >= cut })
+	a = a[i:]
+	out := make([]int32, 0, len(a)+len(b))
+	x, y := 0, 0
+	for x < len(a) || y < len(b) {
+		switch {
+		case y == len(b) || (x < len(a) && a[x] < b[y]):
+			out = append(out, a[x])
+			x++
+		case x == len(a) || b[y] < a[x]:
+			out = append(out, b[y])
+			y++
+		default:
+			out = append(out, a[x])
+			x++
+			y++
+		}
+	}
+	return out
+}
+
+// StoredNNZ returns the total stored entries (true entries plus padding).
+func (ps *PanelSet) StoredNNZ() int64 { return ps.ColPtr[ps.S.N] }
+
+// ColLen returns the stored length of column j.
+func (ps *PanelSet) ColLen(j int) int { return int(ps.ColPtr[j+1] - ps.ColPtr[j]) }
+
+// PanelOff returns the stored-layout offset of panel p's first entry.
+func (ps *PanelSet) PanelOff(p Panel) int64 { return ps.ColPtr[p.Start] }
+
+// RowPos returns the position of row r within stored column j of panel p,
+// or -1 if the row is not stored (possible only across panels).
+func (ps *PanelSet) RowPos(p Panel, j int, r int32) int {
+	if int(r) < p.End {
+		if int(r) < j {
+			return -1
+		}
+		return int(r) - j
+	}
+	below := ps.Below[p.ID]
+	i := sort.Search(len(below), func(i int) bool { return below[i] >= r })
+	if i == len(below) || below[i] != r {
+		return -1
+	}
+	return p.End - j + i
+}
+
+// Deps returns, per source panel, the sorted destination panels its Below
+// rows land in, plus the per-destination incoming-update count. These are
+// the stored-structure dependencies the parallel factorization follows.
+func (ps *PanelSet) Deps() (dsts [][]int32, nupd []int32) {
+	n := len(ps.Panels)
+	dsts = make([][]int32, n)
+	nupd = make([]int32, n)
+	for id := range ps.Panels {
+		last := int32(-1)
+		for _, r := range ps.Below[id] {
+			d := ps.Owner[r]
+			if d != last {
+				dsts[id] = append(dsts[id], d)
+				nupd[d]++
+				last = d
+			}
+		}
+	}
+	return dsts, nupd
+}

@@ -1,0 +1,199 @@
+package sparse
+
+import "sort"
+
+// Symb is the result of symbolic factorization: the elimination tree and
+// the structure of the Cholesky factor L (lower triangle, diagonal
+// included, rows sorted within each column).
+type Symb struct {
+	N       int
+	Parent  []int32 // elimination tree (-1 at roots)
+	LColPtr []int64
+	LRowIdx []int32
+}
+
+// LNNZ returns the number of nonzeros in L.
+func (s *Symb) LNNZ() int { return len(s.LRowIdx) }
+
+// LCol returns the row structure of column j of L.
+func (s *Symb) LCol(j int) []int32 {
+	return s.LRowIdx[s.LColPtr[j]:s.LColPtr[j+1]]
+}
+
+// EliminationTree computes the etree of a symmetric matrix given its
+// lower-triangle CSC form (Liu's algorithm with path compression).
+func EliminationTree(a *Sym) []int32 {
+	n := a.N
+	// Transpose the lower triangle so column col of the upper triangle
+	// (its rows k < col) is available in one slice: Liu's algorithm must
+	// process upper columns strictly in increasing order.
+	uppers := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		rows, _ := a.Col(j)
+		for _, i := range rows[1:] { // skip diagonal
+			uppers[i] = append(uppers[i], int32(j))
+		}
+	}
+	parent := make([]int32, n)
+	ancestor := make([]int32, n)
+	for j := range parent {
+		parent[j] = -1
+		ancestor[j] = -1
+	}
+	for col := 0; col < n; col++ {
+		for _, k := range uppers[col] {
+			i := k
+			for i != -1 && int(i) < col {
+				next := ancestor[i]
+				ancestor[i] = int32(col)
+				if next == -1 {
+					parent[i] = int32(col)
+				}
+				i = next
+			}
+		}
+	}
+	return parent
+}
+
+// Analyze performs symbolic factorization: the structure of column j of L
+// is the structure of A(j:, j) merged with the structures (minus their
+// head) of j's children in the elimination tree.
+func Analyze(a *Sym) *Symb {
+	n := a.N
+	parent := EliminationTree(a)
+	children := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		if p := parent[j]; p != -1 {
+			children[p] = append(children[p], int32(j))
+		}
+	}
+	s := &Symb{N: n, Parent: parent, LColPtr: make([]int64, n+1)}
+	cols := make([][]int32, n)
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for j := 0; j < n; j++ {
+		var rows []int32
+		add := func(r int32) {
+			if mark[r] != int32(j) {
+				mark[r] = int32(j)
+				rows = append(rows, r)
+			}
+		}
+		arows, _ := a.Col(j)
+		for _, r := range arows {
+			add(r)
+		}
+		for _, c := range children[j] {
+			for _, r := range cols[c][1:] { // drop the child's diagonal
+				if int(r) >= j {
+					add(r)
+				}
+			}
+		}
+		sort.Slice(rows, func(x, y int) bool { return rows[x] < rows[y] })
+		cols[j] = rows
+	}
+	for j := 0; j < n; j++ {
+		s.LColPtr[j+1] = s.LColPtr[j] + int64(len(cols[j]))
+	}
+	s.LRowIdx = make([]int32, s.LColPtr[n])
+	for j := 0; j < n; j++ {
+		copy(s.LRowIdx[s.LColPtr[j]:], cols[j])
+	}
+	return s
+}
+
+// Panel is a group of consecutive columns of L with nearly identical
+// structure (a supernode, possibly split to cap the width), the unit of
+// work and data distribution in Panel Cholesky.
+type Panel struct {
+	ID         int
+	Start, End int // columns [Start, End)
+}
+
+// Width returns the number of columns in the panel.
+func (p Panel) Width() int { return p.End - p.Start }
+
+// Panels partitions the columns of L into supernodal panels: column j+1
+// joins j's panel when parent(j) == j+1 and struct(L(:,j)) is
+// struct(L(:,j+1)) plus the diagonal, capped at maxWidth columns.
+func Panels(s *Symb, maxWidth int) []Panel {
+	if maxWidth <= 0 {
+		maxWidth = 8
+	}
+	var panels []Panel
+	j := 0
+	for j < s.N {
+		end := j + 1
+		for end < s.N && end-j < maxWidth &&
+			s.Parent[end-1] == int32(end) &&
+			mergeable(s, end-1, end) {
+			end++
+		}
+		panels = append(panels, Panel{ID: len(panels), Start: j, End: end})
+		j = end
+	}
+	return panels
+}
+
+// mergeable reports whether column k+1's structure equals column k's
+// minus k's diagonal entry.
+func mergeable(s *Symb, k, k1 int) bool {
+	a := s.LCol(k)
+	b := s.LCol(k1)
+	if len(a) != len(b)+1 {
+		return false
+	}
+	for i := range b {
+		if a[i+1] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PanelOf returns a column→panel lookup table.
+func PanelOf(panels []Panel, n int) []int32 {
+	owner := make([]int32, n)
+	for _, p := range panels {
+		for j := p.Start; j < p.End; j++ {
+			owner[j] = int32(p.ID)
+		}
+	}
+	return owner
+}
+
+// PanelDeps computes, for each destination panel, the set of source
+// panels that update it: source S updates destination D≠S when some
+// column of S has a nonzero row landing in D's column range. The result
+// is indexed by source panel (dsts[S] = sorted list of D) together with
+// the per-destination update count.
+func PanelDeps(s *Symb, panels []Panel) (dsts [][]int32, nupdates []int32) {
+	owner := PanelOf(panels, s.N)
+	dsts = make([][]int32, len(panels))
+	nupdates = make([]int32, len(panels))
+	seen := make([]int32, len(panels))
+	for i := range seen {
+		seen[i] = -1
+	}
+	for _, p := range panels {
+		for j := p.Start; j < p.End; j++ {
+			for _, r := range s.LCol(j)[1:] {
+				d := owner[r]
+				if int(d) == p.ID || seen[d] == int32(p.ID) {
+					continue
+				}
+				seen[d] = int32(p.ID)
+				dsts[p.ID] = append(dsts[p.ID], d)
+				nupdates[d]++
+			}
+		}
+	}
+	for i := range dsts {
+		sort.Slice(dsts[i], func(x, y int) bool { return dsts[i][x] < dsts[i][y] })
+	}
+	return dsts, nupdates
+}

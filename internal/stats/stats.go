@@ -1,0 +1,102 @@
+// Package stats formats the experiment output: speedup series and
+// counter tables matching the figures and tables of the paper.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one curve of a speedup figure: a named program variant and
+// its speedup at each processor count.
+type Series struct {
+	Name    string
+	Procs   []int
+	Speedup []float64
+}
+
+// Figure is a set of speedup curves over common processor counts.
+type Figure struct {
+	Title  string
+	Series []Series
+}
+
+// String renders the figure as an aligned ASCII table, one row per
+// processor count and one column per variant.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	header := append([]string{"P"}, names(f.Series)...)
+	rows := make([][]string, len(f.Series[0].Procs))
+	for i, p := range f.Series[0].Procs {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, s := range f.Series {
+			if i < len(s.Speedup) {
+				row = append(row, fmt.Sprintf("%.2f", s.Speedup[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows[i] = row
+	}
+	b.WriteString(Table(header, rows))
+	return b.String()
+}
+
+func names(ss []Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Table renders rows under a header with aligned columns.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders header+rows as comma-separated values.
+func CSV(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"longer-name", "22222"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// All rows share the same width.
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) && len(strings.TrimRight(l, " ")) > len(lines[0]) {
+			t.Fatalf("misaligned row %q vs header %q", l, lines[0])
+		}
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("missing separator: %q", lines[1])
+	}
+}
+
+func TestFigureRendersSeries(t *testing.T) {
+	f := Figure{
+		Title: "test figure",
+		Series: []Series{
+			{Name: "Base", Procs: []int{1, 2}, Speedup: []float64{1, 1.9}},
+			{Name: "Aff", Procs: []int{1, 2}, Speedup: []float64{1, 2.5}},
+		},
+	}
+	out := f.String()
+	for _, want := range []string{"test figure", "Base", "Aff", "1.90", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureShortSeriesPadded(t *testing.T) {
+	f := Figure{
+		Title: "x",
+		Series: []Series{
+			{Name: "full", Procs: []int{1, 2, 4}, Speedup: []float64{1, 2, 3}},
+			{Name: "short", Procs: []int{1, 2, 4}, Speedup: []float64{1}},
+		},
+	}
+	if !strings.Contains(f.String(), "-") {
+		t.Fatal("missing placeholder for short series")
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	f := Figure{Title: "empty"}
+	if !strings.Contains(f.String(), "empty") {
+		t.Fatal("title lost")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "a,b\n1,2\n3,4\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}

@@ -1,0 +1,119 @@
+package cool_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	cool "github.com/coolrts/cool"
+)
+
+// randomProgram builds a randomized but deterministic task tree mixing
+// every affinity kind, nested waitfors, monitors and memory traffic, and
+// returns a digest of the run (elapsed cycles and counters). It is the
+// repository's randomized integration test: any scheduling or
+// synchronization bug tends to surface as a deadlock, a panic, a lost
+// task, or non-determinism.
+func randomProgram(t *testing.T, seed int64, procs int) (int64, cool.Counters) {
+	t.Helper()
+	rt, err := cool.NewRuntime(cool.Config{Processors: procs, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]*cool.F64, 8)
+	for i := range objs {
+		objs[i] = rt.NewF64Pages(512, rng.Intn(procs))
+	}
+	mons := []*cool.Monitor{rt.NewMonitor(objs[0].Base), rt.NewMonitor(objs[1].Base)}
+
+	var spawned int64
+	var body func(c *cool.Ctx, depth int)
+	body = func(c *cool.Ctx, depth int) {
+		o := objs[rng.Intn(len(objs))]
+		for i := 0; i < o.Len(); i += 64 {
+			if rng.Intn(2) == 0 {
+				c.ReadF64Range(o, i, i+64)
+			} else {
+				c.WriteF64Range(o, i, i+64)
+			}
+		}
+		c.Compute(int64(rng.Intn(2000)))
+		if depth >= 3 {
+			return
+		}
+		kids := rng.Intn(4)
+		spawnKids := func() {
+			for k := 0; k < kids; k++ {
+				var opts []cool.SpawnOpt
+				target := objs[rng.Intn(len(objs))]
+				d := depth + 1
+				switch rng.Intn(6) {
+				case 0:
+					opts = append(opts, cool.OnObject(target.Base))
+				case 1:
+					opts = append(opts, cool.TaskAffinity(target.Base))
+				case 2:
+					opts = append(opts, cool.ObjectAffinity(target.Base))
+				case 3:
+					opts = append(opts, cool.OnProcessor(rng.Intn(2*procs)))
+				case 4:
+					// Mutex tasks are leaves: a task that holds a
+					// monitor while waiting (even transitively) for
+					// another task needing the same monitor deadlocks —
+					// a program error in COOL as well.
+					opts = append(opts, cool.WithMutex(mons[rng.Intn(len(mons))]))
+					d = 3
+				case 5:
+					// no hints
+				}
+				spawned++
+				c.Spawn("rnd", func(cc *cool.Ctx) { body(cc, d) }, opts...)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			c.WaitFor(spawnKids)
+		} else {
+			spawnKids()
+		}
+	}
+
+	err = rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			for i := 0; i < 6; i++ {
+				spawned++
+				ctx.Spawn("root", func(c *cool.Ctx) { body(c, 0) })
+			}
+		})
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	rep := rt.Report()
+	if rep.Total.TasksRun != spawned+1 { // +1 for main
+		t.Fatalf("seed %d: ran %d tasks, spawned %d", seed, rep.Total.TasksRun, spawned)
+	}
+	return rt.ElapsedCycles(), rep.Total
+}
+
+func TestRandomProgramsComplete(t *testing.T) {
+	f := func(seedRaw uint16, procsRaw uint8) bool {
+		seed := int64(seedRaw) + 1
+		procs := 1 + int(procsRaw)%16
+		randomProgram(t, seed, procs)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomProgramsDeterministic(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		c1, t1 := randomProgram(t, seed, 8)
+		c2, t2 := randomProgram(t, seed, 8)
+		if c1 != c2 || t1 != t2 {
+			t.Fatalf("seed %d: non-deterministic (%d vs %d cycles)", seed, c1, c2)
+		}
+	}
+}

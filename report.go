@@ -1,0 +1,163 @@
+package cool
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counters are the performance-monitor event counts for one processor or
+// aggregated over the machine — the analogue of the DASH hardware
+// performance monitor used for the paper's cache-miss figures.
+type Counters struct {
+	Refs          int64 // cache-line references
+	L1Hits        int64
+	L2Hits        int64
+	LocalMisses   int64 // misses serviced by local cluster memory
+	RemoteMisses  int64 // misses serviced by remote cluster memory
+	DirtyMisses   int64 // misses serviced cache-to-cache from a dirty line
+	Upgrades      int64
+	Invalidations int64
+	Writebacks    int64
+	Prefetches    int64 // prefetch issues (per line)
+	PrefetchFills int64 // prefetches that brought a line in
+
+	MemCycles     int64
+	ComputeCycles int64
+
+	TasksRun     int64
+	TasksAtHome  int64 // tasks that ran on their affinity-preferred server
+	Spawns       int64
+	StealTries   int64
+	StealsLocal  int64 // successful same-cluster steals
+	StealsRemote int64
+	SetSteals    int64
+	LockBlocks   int64
+}
+
+// Misses returns the total cache misses.
+func (c Counters) Misses() int64 { return c.LocalMisses + c.RemoteMisses + c.DirtyMisses }
+
+// MissRate returns misses per reference.
+func (c Counters) MissRate() float64 {
+	if c.Refs == 0 {
+		return 0
+	}
+	return float64(c.Misses()) / float64(c.Refs)
+}
+
+// LocalFraction returns the fraction of misses serviced without crossing
+// to a remote cluster (local memory plus same-cluster dirty lines count
+// as local in the cache model's latency charging).
+func (c Counters) LocalFraction() float64 {
+	m := c.Misses()
+	if m == 0 {
+		return 1
+	}
+	return float64(c.LocalMisses) / float64(m)
+}
+
+// HomeFraction returns the fraction of tasks that executed on their
+// affinity-preferred server.
+func (c Counters) HomeFraction() float64 {
+	if c.TasksRun == 0 {
+		return 1
+	}
+	return float64(c.TasksAtHome) / float64(c.TasksRun)
+}
+
+// Report summarizes one simulated execution.
+type Report struct {
+	Cycles     int64 // parallel execution time (max processor clock)
+	Processors int
+	BusyCycles int64 // sum over processors of cycles running tasks
+	IdleCycles int64 // sum over processors of cycles waiting for work
+	Total      Counters
+	Per        []Counters
+}
+
+// Utilization returns busy cycles as a fraction of total processor-cycles.
+func (r Report) Utilization() float64 {
+	denom := r.Cycles * int64(r.Processors)
+	if denom == 0 {
+		return 0
+	}
+	return float64(r.BusyCycles) / float64(denom)
+}
+
+// Report captures the current performance-monitor state. Call after Run.
+func (rt *Runtime) Report() Report {
+	r := Report{
+		Cycles:     rt.eng.MaxClock(),
+		Processors: rt.cfg.Processors,
+		Per:        make([]Counters, rt.cfg.Processors),
+	}
+	for i := range rt.mon.Per {
+		p := rt.mon.Per[i]
+		c := Counters{
+			Refs:          p.Refs,
+			L1Hits:        p.L1Hits,
+			L2Hits:        p.L2Hits,
+			LocalMisses:   p.LocalMisses,
+			RemoteMisses:  p.RemoteMisses,
+			DirtyMisses:   p.DirtyMisses,
+			Upgrades:      p.Upgrades,
+			Invalidations: p.Invalidations,
+			Writebacks:    p.Writebacks,
+			Prefetches:    p.Prefetches,
+			PrefetchFills: p.PrefetchFills,
+			MemCycles:     p.MemCycles,
+			ComputeCycles: p.ComputeCycles,
+			TasksRun:      p.TasksRun,
+			TasksAtHome:   p.TasksAtHome,
+			Spawns:        p.Spawns,
+			StealTries:    p.StealTries,
+			StealsLocal:   p.StealsLocal,
+			StealsRemote:  p.StealsRemote,
+			SetSteals:     p.SetSteals,
+			LockBlocks:    p.LockBlocks,
+		}
+		r.Per[i] = c
+		addCounters(&r.Total, c)
+	}
+	for _, p := range rt.eng.Procs {
+		r.BusyCycles += p.Busy
+		r.IdleCycles += p.Idle
+	}
+	return r
+}
+
+func addCounters(dst *Counters, c Counters) {
+	dst.Refs += c.Refs
+	dst.L1Hits += c.L1Hits
+	dst.L2Hits += c.L2Hits
+	dst.LocalMisses += c.LocalMisses
+	dst.RemoteMisses += c.RemoteMisses
+	dst.DirtyMisses += c.DirtyMisses
+	dst.Upgrades += c.Upgrades
+	dst.Invalidations += c.Invalidations
+	dst.Writebacks += c.Writebacks
+	dst.Prefetches += c.Prefetches
+	dst.PrefetchFills += c.PrefetchFills
+	dst.MemCycles += c.MemCycles
+	dst.ComputeCycles += c.ComputeCycles
+	dst.TasksRun += c.TasksRun
+	dst.TasksAtHome += c.TasksAtHome
+	dst.Spawns += c.Spawns
+	dst.StealTries += c.StealTries
+	dst.StealsLocal += c.StealsLocal
+	dst.StealsRemote += c.StealsRemote
+	dst.SetSteals += c.SetSteals
+	dst.LockBlocks += c.LockBlocks
+}
+
+// String renders a compact human-readable summary.
+func (r Report) String() string {
+	var b strings.Builder
+	t := r.Total
+	fmt.Fprintf(&b, "cycles=%d procs=%d util=%.2f\n", r.Cycles, r.Processors, r.Utilization())
+	fmt.Fprintf(&b, "refs=%d miss=%d (rate %.4f) local=%d remote=%d dirty=%d localFrac=%.2f\n",
+		t.Refs, t.Misses(), t.MissRate(), t.LocalMisses, t.RemoteMisses, t.DirtyMisses, t.LocalFraction())
+	fmt.Fprintf(&b, "tasks=%d atHome=%.2f spawns=%d steals(local=%d remote=%d sets=%d) lockBlocks=%d",
+		t.TasksRun, t.HomeFraction(), t.Spawns, t.StealsLocal, t.StealsRemote, t.SetSteals, t.LockBlocks)
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package cool
+
+import "github.com/coolrts/cool/internal/trace"
+
+// TraceEvent is one recorded scheduler occurrence: a task being enqueued,
+// dispatched, stolen, blocked, made ready, or completed.
+type TraceEvent struct {
+	Time int64  // simulated cycle
+	Proc int    // processor (-1 when the event is not bound to one)
+	Kind string // enqueue | run | steal | block | ready | done
+	Task string
+	Arg  int64 // kind-specific: target server, or victim processor for steals
+}
+
+// TraceEvents returns the recorded scheduler events (empty unless
+// Config.TraceCapacity was set). Call after Run.
+func (rt *Runtime) TraceEvents() []TraceEvent {
+	evs := rt.sched.Trace.Events()
+	out := make([]TraceEvent, len(evs))
+	for i, e := range evs {
+		out[i] = TraceEvent{
+			Time: e.Time,
+			Proc: int(e.Proc),
+			Kind: e.Kind.String(),
+			Task: e.Task,
+			Arg:  e.Arg,
+		}
+	}
+	return out
+}
+
+// TraceDump renders the recorded events as text, one per line.
+func (rt *Runtime) TraceDump() string { return rt.sched.Trace.String() }
+
+// TraceTimeline renders a per-processor utilization strip of the given
+// width over the whole run: '#' busy, '+' partially busy, '.' idle.
+func (rt *Runtime) TraceTimeline(width int) string {
+	return rt.sched.Trace.Timeline(rt.cfg.Processors, rt.eng.MaxClock(), width)
+}
+
+// enable wires a trace log of the given capacity into the scheduler.
+func (rt *Runtime) enableTracing(capacity int) {
+	rt.sched.Trace = trace.New(capacity)
+}
