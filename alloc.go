@@ -48,7 +48,8 @@ type Obj struct {
 }
 
 // procMod maps a COOL "processor number" argument onto a server, modulo
-// the number of processors (the paper's convention).
+// the number of processors (the paper's convention), so explicit
+// placements can never name a processor outside the machine.
 func (rt *Runtime) procMod(proc int) int {
 	p := proc % rt.cfg.Processors
 	if p < 0 {
@@ -57,44 +58,60 @@ func (rt *Runtime) procMod(proc int) int {
 	return p
 }
 
+// allocSize validates a requested allocation size. A non-positive size
+// records a sticky setup error — reported by Run instead of executing —
+// and substitutes a minimal valid size so the returned handle stays
+// usable in affinity expressions without panicking.
+func (rt *Runtime) allocSize(size int64, what string) int64 {
+	if size <= 0 {
+		rt.setupError("cool: %s: allocation size %d must be positive", what, size)
+		return 8
+	}
+	return size
+}
+
 // NewF64 allocates an n-element array homed in the local memory of
 // processor proc (modulo the number of processors), like COOL's
 // new(proc).
 func (rt *Runtime) NewF64(n int, proc int) *F64 {
-	return &F64{Base: rt.space.Alloc(int64(n)*8, rt.procMod(proc)), Data: make([]float64, n)}
+	return &F64{Base: rt.space.Alloc(rt.allocSize(int64(n)*8, "NewF64"), rt.procMod(proc)), Data: make([]float64, max(n, 0))}
 }
 
 // NewF64Pages allocates a page-aligned array so parts of it can be
 // migrated independently.
 func (rt *Runtime) NewF64Pages(n int, proc int) *F64 {
-	return &F64{Base: rt.space.AllocPages(int64(n)*8, rt.procMod(proc)), Data: make([]float64, n)}
+	return &F64{Base: rt.space.AllocPages(rt.allocSize(int64(n)*8, "NewF64Pages"), rt.procMod(proc)), Data: make([]float64, max(n, 0))}
 }
 
 // NewI64 allocates an n-element int64 array homed at processor proc.
 func (rt *Runtime) NewI64(n int, proc int) *I64 {
-	return &I64{Base: rt.space.Alloc(int64(n)*8, rt.procMod(proc)), Data: make([]int64, n)}
+	return &I64{Base: rt.space.Alloc(rt.allocSize(int64(n)*8, "NewI64"), rt.procMod(proc)), Data: make([]int64, max(n, 0))}
 }
 
 // NewI64Pages allocates a page-aligned int64 array (independently
 // migratable).
 func (rt *Runtime) NewI64Pages(n int, proc int) *I64 {
-	return &I64{Base: rt.space.AllocPages(int64(n)*8, rt.procMod(proc)), Data: make([]int64, n)}
+	return &I64{Base: rt.space.AllocPages(rt.allocSize(int64(n)*8, "NewI64Pages"), rt.procMod(proc)), Data: make([]int64, max(n, 0))}
 }
 
 // NewObj allocates a size-byte object homed at processor proc.
 func (rt *Runtime) NewObj(size int64, proc int) Obj {
-	return Obj{Base: rt.space.Alloc(size, rt.procMod(proc)), Size: size}
+	return Obj{Base: rt.space.Alloc(rt.allocSize(size, "NewObj"), rt.procMod(proc)), Size: size}
 }
 
 // NewObjPages allocates a page-aligned object (independently migratable).
 func (rt *Runtime) NewObjPages(size int64, proc int) Obj {
-	return Obj{Base: rt.space.AllocPages(size, rt.procMod(proc)), Size: size}
+	return Obj{Base: rt.space.AllocPages(rt.allocSize(size, "NewObjPages"), rt.procMod(proc)), Size: size}
 }
 
 // Migrate re-homes the pages spanned by [addr, addr+size) to processor
 // proc's local memory without charging simulated time (setup use; inside
 // a task prefer Ctx.Migrate).
 func (rt *Runtime) Migrate(addr, size int64, proc int) {
+	if size <= 0 {
+		rt.setupError("cool: Migrate: size %d must be positive", size)
+		return
+	}
 	rt.space.Migrate(addr, size, rt.procMod(proc))
 }
 

@@ -62,8 +62,9 @@ func main() {
 		"stealpolicy": stealPolicyAblation,
 		"uniform":     uniformMachineComparison,
 		"latency":     latencySensitivity,
+		"straggler":   stragglerExperiment,
 	}
-	order := []string{"table1", "ocean", "locus", "locusmiss", "pancho", "panchomiss", "barnes", "blockcho", "gauss", "queuearray", "stealpolicy", "uniform", "latency"}
+	order := []string{"table1", "ocean", "locus", "locusmiss", "pancho", "panchomiss", "barnes", "blockcho", "gauss", "queuearray", "stealpolicy", "uniform", "latency", "straggler"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -294,6 +295,61 @@ func latencySensitivity() error {
 			fmt.Sprintf("%d", aff.Cycles),
 			fmt.Sprintf("%.2fx", float64(base.Cycles)/float64(aff.Cycles)),
 		})
+	}
+	fmt.Println(stats.Table(header, rows))
+	return nil
+}
+
+// stragglerExperiment (R2) injects deterministic faults into Panel
+// Cholesky at P=16: an 8x straggler processor from the start, and a
+// processor that fails outright a quarter of the way through the healthy
+// run. A fault-tolerant scheduler keeps the slowdown well under the 16/15
+// capacity loss naively extended by queue imbalance: survivors steal the
+// straggler's backlog and absorb the failed server's redistributed queue.
+func stragglerExperiment() error {
+	fmt.Println("R2  Straggler and processor-failure tolerance (Panel Cholesky, P=16)")
+	prm := pancho.DefaultParams()
+	if *size > 0 {
+		prm.Grid = *size
+	}
+	variants := []struct {
+		name       string
+		sched      cool.SchedPolicy
+		distribute bool
+	}{
+		{"Base", cool.SchedPolicy{IgnoreHints: true}, false},
+		{"Distr+Aff", cool.SchedPolicy{}, true},
+		{"Distr+Aff+ClusterStealing", cool.SchedPolicy{ClusterStealingOnly: true}, true},
+	}
+	header := []string{"variant", "fault", "cycles", "slowdown", "steals", "redistributed"}
+	var rows [][]string
+	for _, v := range variants {
+		healthy, err := pancho.RunConfig(cool.Config{Processors: 16, Sched: v.sched}, v.distribute, prm)
+		if err != nil {
+			return fmt.Errorf("straggler %s healthy: %w", v.name, err)
+		}
+		faults := []struct {
+			name string
+			plan *cool.FaultPlan
+		}{
+			{"healthy", nil},
+			{"P3 8x straggler", cool.NewFaultPlan().SlowProcessor(3, 0, 8, 0)},
+			{"P5 fails at 25%", cool.NewFaultPlan().FailProcessor(5, healthy.Cycles/4)},
+		}
+		for _, f := range faults {
+			res, err := pancho.RunConfig(cool.Config{Processors: 16, Sched: v.sched, Faults: f.plan}, v.distribute, prm)
+			if err != nil {
+				return fmt.Errorf("straggler %s/%s: %w", v.name, f.name, err)
+			}
+			t := res.Report.Total
+			rows = append(rows, []string{
+				v.name, f.name,
+				fmt.Sprintf("%d", res.Cycles),
+				fmt.Sprintf("%.2fx", float64(res.Cycles)/float64(healthy.Cycles)),
+				fmt.Sprintf("%d", t.StealsLocal+t.StealsRemote),
+				fmt.Sprintf("%d", t.Redistributed),
+			})
+		}
 	}
 	fmt.Println(stats.Table(header, rows))
 	return nil

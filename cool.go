@@ -95,6 +95,15 @@ type Config struct {
 	// Machine, when non-nil, overrides the full machine description
 	// (latencies, cache geometry); Processors/ClusterSize are ignored.
 	Machine *machine.Config
+	// Faults, when non-nil, is the deterministic fault-injection plan
+	// applied to the run (see FaultPlan). Invalid plans are rejected by
+	// NewRuntime.
+	Faults *FaultPlan
+	// CycleLimit, when positive, arms a no-progress watchdog: if
+	// simulated time passes it with tasks still outstanding, Run stops
+	// and returns a *NoProgressError carrying a queue/clock snapshot
+	// instead of simulating (or hanging) forever.
+	CycleLimit int64
 }
 
 // Runtime is one simulated COOL program execution environment. Allocate
@@ -107,6 +116,17 @@ type Runtime struct {
 	sched  *core.Scheduler
 	mon    *perfmon.Monitor
 	ran    bool
+
+	// setupErr records the first invalid pre-Run operation (e.g. a
+	// non-positive allocation size); Run reports it instead of running.
+	setupErr error
+}
+
+// setupError records a sticky setup-phase error (first one wins).
+func (rt *Runtime) setupError(format string, args ...any) {
+	if rt.setupErr == nil {
+		rt.setupErr = fmt.Errorf(format, args...)
+	}
 }
 
 // NewRuntime builds a runtime for the given configuration.
@@ -118,6 +138,12 @@ func NewRuntime(c Config) (*Runtime, error) {
 		if c.Processors <= 0 {
 			return nil, fmt.Errorf("cool: Config.Processors must be positive")
 		}
+		if c.ClusterSize < 0 {
+			return nil, fmt.Errorf("cool: Config.ClusterSize must not be negative")
+		}
+		if c.Quantum < 0 {
+			return nil, fmt.Errorf("cool: Config.Quantum must not be negative")
+		}
 		mc = machine.DASH(c.Processors)
 		if c.ClusterSize > 0 {
 			mc.ClusterSize = c.ClusterSize
@@ -128,6 +154,15 @@ func NewRuntime(c Config) (*Runtime, error) {
 		if c.Seed != 0 {
 			mc.Seed = c.Seed
 		}
+	}
+	if c.Sched.QueueArraySize < 0 {
+		return nil, fmt.Errorf("cool: Config.Sched.QueueArraySize must not be negative")
+	}
+	if c.TraceCapacity < 0 {
+		return nil, fmt.Errorf("cool: Config.TraceCapacity must not be negative")
+	}
+	if c.CycleLimit < 0 {
+		return nil, fmt.Errorf("cool: Config.CycleLimit must not be negative")
 	}
 	if err := mc.Validate(); err != nil {
 		return nil, err
@@ -153,6 +188,15 @@ func NewRuntime(c Config) (*Runtime, error) {
 	if c.TraceCapacity > 0 {
 		rt.enableTracing(c.TraceCapacity)
 	}
+	rt.eng.SetSnapshot(rt.sched.Snapshot)
+	if c.CycleLimit > 0 {
+		rt.eng.SetCycleLimit(c.CycleLimit)
+	}
+	if c.Faults != nil {
+		if err := rt.applyFaults(c.Faults); err != nil {
+			return nil, err
+		}
+	}
 	return rt, nil
 }
 
@@ -166,13 +210,24 @@ func (rt *Runtime) Clusters() int { return rt.cfg.Clusters() }
 func (rt *Runtime) MachineConfig() machine.Config { return rt.cfg }
 
 // Run executes main as the program's root task on processor 0 and
-// simulates until every task has completed. It returns an error if a task
-// panicked or the program deadlocked. Run may be called only once.
-func (rt *Runtime) Run(main func(*Ctx)) error {
+// simulates until every task has completed. Failures come back as typed
+// errors: *TaskPanicError when a task panicked, *DeadlockError (with
+// the wait-for graph) when tasks blocked forever, *NoProgressError when
+// Config.CycleLimit was exceeded. Run never panics on task or
+// configuration faults, and may be called only once.
+func (rt *Runtime) Run(main func(*Ctx)) (err error) {
 	if rt.ran {
 		return fmt.Errorf("cool: Runtime.Run called twice")
 	}
 	rt.ran = true
+	if rt.setupErr != nil {
+		return rt.setupErr
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cool: runtime panic: %v", r)
+		}
+	}()
 	td := &core.TaskDesc{Class: core.ClassProcessor, Server: 0, Slot: -1}
 	t := rt.eng.NewTask("main", 0, func(sc *sim.Ctx) {
 		main(&Ctx{sc: sc, rt: rt})
@@ -181,7 +236,7 @@ func (rt *Runtime) Run(main func(*Ctx)) error {
 	t.Data = td
 	td.T = t
 	rt.sched.Enqueue(td, 0)
-	return rt.eng.Run()
+	return rt.wrapRunError(rt.eng.Run())
 }
 
 // ElapsedCycles returns the simulated parallel execution time: the

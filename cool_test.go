@@ -1,6 +1,7 @@
 package cool_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -465,15 +466,54 @@ func TestBroadcastWakesAll(t *testing.T) {
 }
 
 func TestDeadlockReported(t *testing.T) {
-	rt := newRT(t, 2)
-	mon := rt.NewMonitor(0)
+	// Build a three-task deadlock exercising every kind of wait edge:
+	// "holder" owns mon and parks on a condition variable nobody signals,
+	// "contender" parks on mon itself, and main parks on the waitfor
+	// scope covering both. One processor serializes the spawn order so
+	// the wait-for graph is deterministic.
+	rt := newRT(t, 1)
+	mon := rt.NewMonitor(0xbeef0)
+	mon2 := rt.NewMonitor(0xbeef8)
 	cv := &cool.Cond{}
 	err := rt.Run(func(ctx *cool.Ctx) {
-		ctx.Lock(mon)
-		ctx.Wait(cv, mon) // nobody signals
+		ctx.WaitFor(func() {
+			ctx.Spawn("holder", func(c *cool.Ctx) {
+				c.Lock(mon)
+				c.Lock(mon2)
+				c.Wait(cv, mon2) // nobody signals; mon stays held
+			})
+			ctx.Spawn("contender", func(c *cool.Ctx) {
+				c.Lock(mon) // blocks on holder forever
+			})
+		})
 	})
 	if err == nil || !strings.Contains(err.Error(), "deadlock") {
 		t.Fatalf("err = %v, want deadlock", err)
+	}
+	var de *cool.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T, want *cool.DeadlockError", err)
+	}
+	if len(de.Waits) != 3 {
+		t.Fatalf("wait-for graph has %d edges, want 3:\n%v", len(de.Waits), err)
+	}
+	edges := map[string]cool.WaitEdge{}
+	for _, w := range de.Waits {
+		edges[w.Task] = w
+	}
+	if w := edges["contender"]; w.On != "monitor" || w.Object != 0xbeef0 || w.Holder != "holder" {
+		t.Fatalf("contender edge = %+v, want monitor@0xbeef0 held by holder", w)
+	}
+	if w := edges["holder"]; w.On != "condition" {
+		t.Fatalf("holder edge = %+v, want condition wait", w)
+	}
+	if w := edges["main"]; w.On != "scope" || w.Pending != 2 {
+		t.Fatalf("main edge = %+v, want scope with 2 outstanding", w)
+	}
+	for _, want := range []string{`task "contender" waits on monitor@0xbeef0 held by "holder"`, `task "holder" waits on condition`, `task "main" waits on scope (2 task(s) outstanding)`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("message %q\nmissing %q", err, want)
+		}
 	}
 }
 

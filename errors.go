@@ -1,0 +1,154 @@
+package cool
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/coolrts/cool/internal/core"
+	"github.com/coolrts/cool/internal/sim"
+)
+
+// TaskPanicError is returned by Run when a task's body panicked (or a
+// fault plan injected a panic into it). It carries the task's identity,
+// the processor it was running on, and the simulated time of the
+// failure, so faulted runs can be diagnosed and replayed.
+type TaskPanicError struct {
+	Task     string // task label passed to Spawn ("main" for the root task)
+	Proc     int    // processor the task was running on
+	Time     int64  // simulated cycle of the panic
+	Value    any    // the panic value
+	Stack    string // goroutine stack at the panic
+	Injected bool   // true when planted by a fault plan
+}
+
+func (e *TaskPanicError) Error() string {
+	kind := "panicked"
+	if e.Injected {
+		kind = "panicked (injected fault)"
+	}
+	return fmt.Sprintf("cool: task %q %s on P%d at cycle %d: %v", e.Task, kind, e.Proc, e.Time, e.Value)
+}
+
+// WaitEdge is one edge of a deadlock's wait-for graph: a blocked task
+// and the synchronization object it waits on.
+type WaitEdge struct {
+	Task    string // blocked task's label
+	On      string // "monitor", "condition", or "scope"
+	Object  int64  // monitor's object address (0 when none)
+	Holder  string // task holding the monitor ("" when none/unknown)
+	Pending int    // outstanding tasks in the scope (scope edges only)
+}
+
+func (w WaitEdge) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "task %q waits on %s", w.Task, w.On)
+	if w.On == "monitor" && w.Object != 0 {
+		fmt.Fprintf(&b, "@%#x", w.Object)
+	}
+	if w.Holder != "" {
+		fmt.Fprintf(&b, " held by %q", w.Holder)
+	}
+	if w.On == "scope" {
+		fmt.Fprintf(&b, " (%d task(s) outstanding)", w.Pending)
+	}
+	return b.String()
+}
+
+// DeadlockError is returned by Run when tasks remain blocked forever.
+// Waits lists each blocked task with the monitor, condition variable, or
+// waitfor scope it is parked on — the wait-for graph of the deadlock.
+type DeadlockError struct {
+	Time  int64 // simulated cycle the run stopped
+	Waits []WaitEdge
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cool: deadlock at cycle %d: %d task(s) blocked forever", e.Time, len(e.Waits))
+	for _, w := range e.Waits {
+		b.WriteString("\n  ")
+		b.WriteString(w.String())
+	}
+	return b.String()
+}
+
+// NoProgressError is returned by Run when Config.CycleLimit was set and
+// simulated time passed it with work still outstanding. It carries a
+// clock and queue snapshot instead of letting the simulation run (or
+// spin) forever.
+type NoProgressError struct {
+	CycleLimit   int64
+	Time         int64   // simulated cycle the watchdog fired
+	LiveTasks    int     // tasks not yet run to completion
+	BlockedTasks int     // tasks parked on synchronization
+	Clocks       []int64 // per-processor clocks at the stop
+	Snapshot     string  // scheduler queue state
+}
+
+func (e *NoProgressError) Error() string {
+	s := fmt.Sprintf("cool: no progress: cycle limit %d exceeded at t=%d with %d live task(s), %d blocked",
+		e.CycleLimit, e.Time, e.LiveTasks, e.BlockedTasks)
+	if e.Snapshot != "" {
+		s += "\n  " + e.Snapshot
+	}
+	return s
+}
+
+// wrapRunError converts engine-level failures into the public typed
+// errors.
+func (rt *Runtime) wrapRunError(err error) error {
+	if err == nil {
+		return nil
+	}
+	switch f := err.(type) {
+	case *sim.TaskFailure:
+		return &TaskPanicError{
+			Task:     f.Task,
+			Proc:     f.Proc,
+			Time:     f.Time,
+			Value:    f.Value,
+			Stack:    f.Stack,
+			Injected: f.Injected,
+		}
+	case *sim.DeadlockError:
+		de := &DeadlockError{Time: f.Time}
+		for _, t := range f.Tasks {
+			de.Waits = append(de.Waits, waitEdge(t))
+		}
+		return de
+	case *sim.WatchdogError:
+		return &NoProgressError{
+			CycleLimit:   f.Limit,
+			Time:         f.Time,
+			LiveTasks:    f.Live,
+			BlockedTasks: f.Blocked,
+			Clocks:       f.Clocks,
+			Snapshot:     f.Snapshot,
+		}
+	}
+	return err
+}
+
+// waitEdge derives the wait-for edge for one blocked task from the
+// BlockedOn marker its descriptor recorded before parking.
+func waitEdge(t *sim.Task) WaitEdge {
+	w := WaitEdge{Task: t.Name, On: "unknown"}
+	td, ok := t.Data.(*core.TaskDesc)
+	if !ok {
+		return w
+	}
+	switch on := td.BlockedOn.(type) {
+	case *core.Monitor:
+		w.On = "monitor"
+		w.Object = on.Addr
+		if o := on.Owner(); o != nil && o.T != nil {
+			w.Holder = o.T.Name
+		}
+	case *core.Cond:
+		w.On = "condition"
+	case *core.Scope:
+		w.On = "scope"
+		w.Pending = on.Pending()
+	}
+	return w
+}

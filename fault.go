@@ -1,0 +1,114 @@
+package cool
+
+import (
+	"fmt"
+
+	"github.com/coolrts/cool/internal/fault"
+	"github.com/coolrts/cool/internal/sim"
+)
+
+// FaultPlan is a deterministic schedule of fault events applied to a
+// run: processor slowdowns, stalls, permanent failures, memory-module
+// degradation, and injected task panics. Every event is pinned to
+// simulated time, so a run with the same Config (seed) and the same
+// plan replays cycle for cycle — fault experiments are reproducible.
+// The builder methods append events and return the plan for chaining:
+//
+//	cfg.Faults = cool.NewFaultPlan().
+//		SlowProcessor(3, 0, 8, 0).   // P3 is an 8x straggler from t=0
+//		FailProcessor(5, 200_000)    // P5 dies at cycle 200k
+type FaultPlan struct {
+	plan fault.Plan
+}
+
+// NewFaultPlan returns an empty fault plan.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{} }
+
+// SlowProcessor multiplies every cycle processor proc executes by
+// factor (>= 2), starting at simulated time at and lasting duration
+// cycles (0 = rest of the run).
+func (p *FaultPlan) SlowProcessor(proc int, at, factor, duration int64) *FaultPlan {
+	p.plan.Slow(proc, at, factor, duration)
+	return p
+}
+
+// StallProcessor freezes processor proc for cycles cycles at time at.
+func (p *FaultPlan) StallProcessor(proc int, at, cycles int64) *FaultPlan {
+	p.plan.Stall(proc, at, cycles)
+	return p
+}
+
+// FailProcessor retires processor proc permanently at time at: its
+// queued tasks are redistributed to surviving servers and it never
+// dispatches again. At least one processor must survive the plan.
+func (p *FaultPlan) FailProcessor(proc int, at int64) *FaultPlan {
+	p.plan.Fail(proc, at)
+	return p
+}
+
+// DegradeMemory multiplies cluster's memory-module service latency and
+// occupancy by factor (>= 2) from time at onward.
+func (p *FaultPlan) DegradeMemory(cluster int, at, factor int64) *FaultPlan {
+	p.plan.DegradeMemory(cluster, at, factor)
+	return p
+}
+
+// PanicTask makes the nth task spawned with the given name (0-based
+// creation order) panic when it first runs; Run then returns a
+// *TaskPanicError.
+func (p *FaultPlan) PanicTask(name string, nth int) *FaultPlan {
+	p.plan.PanicTask(name, nth)
+	return p
+}
+
+// Len returns the number of events in the plan.
+func (p *FaultPlan) Len() int { return len(p.plan.Events) }
+
+// RandomFaultPlan builds a reproducible plan of n non-panic fault
+// events (slowdowns, stalls, memory degradation, and at most procs-1
+// permanent failures) for stress testing: the same seed always yields
+// the same plan.
+func RandomFaultPlan(seed int64, procs, clusters, n int) *FaultPlan {
+	return &FaultPlan{plan: *fault.Random(seed, procs, clusters, n)}
+}
+
+// applyFaults validates the plan against the machine and arms every
+// event on the engine's event heap before the run starts.
+func (rt *Runtime) applyFaults(p *FaultPlan) error {
+	if err := p.plan.Validate(rt.cfg.Processors, rt.cfg.Clusters()); err != nil {
+		return fmt.Errorf("cool: invalid Config.Faults: %w", err)
+	}
+	for _, ev := range p.plan.Events {
+		ev := ev
+		switch ev.Kind {
+		case fault.Slowdown:
+			proc := rt.eng.Procs[ev.Proc]
+			rt.eng.At(ev.At, func() {
+				rt.eng.SlowProc(proc, ev.Factor, ev.Cycles)
+				rt.sched.NoteFault(rt.eng.Now(), ev.Proc, "slowdown", ev.Factor)
+			})
+		case fault.Stall:
+			proc := rt.eng.Procs[ev.Proc]
+			rt.eng.At(ev.At, func() {
+				rt.eng.StallProc(proc, ev.Cycles)
+				rt.sched.NoteFault(rt.eng.Now(), ev.Proc, "stall", ev.Cycles)
+			})
+		case fault.Fail:
+			proc := rt.eng.Procs[ev.Proc]
+			rt.eng.At(ev.At, func() {
+				rt.eng.FailProc(proc) // fail handler redistributes queues
+			})
+		case fault.MemDegrade:
+			rt.eng.At(ev.At, func() {
+				rt.caches.DegradeMemory(ev.Cluster, ev.Factor)
+				rt.sched.NoteFault(rt.eng.Now(), ev.Cluster*rt.cfg.ClusterSize, "memdegrade", ev.Factor)
+			})
+		case fault.TaskPanic:
+			rt.eng.InjectTaskPanic(ev.Task, ev.Nth)
+		}
+	}
+	rt.eng.SetFailHandler(func(p *sim.Proc, running *sim.Task, now int64) {
+		rt.sched.FailServer(p.ID, running, now)
+	})
+	return nil
+}

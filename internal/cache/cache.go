@@ -102,6 +102,10 @@ type System struct {
 	// arrive, the queue drains one miss per MemOccupancy cycles, and a
 	// new miss waits behind the current backlog.
 	mems []memModule
+
+	// degrade holds a per-cluster fault-injection multiplier (nil or 1 =
+	// healthy) applied to memory service latency and module occupancy.
+	degrade []int64
 }
 
 // memModule tracks one cluster memory's backlog. Queue length (not an
@@ -269,10 +273,10 @@ func (s *System) miss(p int, at int64, line int64, write bool) int64 {
 			s.mon.Per[owner].Writebacks++
 		}
 	case homeCluster == myCluster:
-		cycles = lat.LocalMem + s.memQueue(homeCluster, at)
+		cycles = lat.LocalMem*s.factorOf(homeCluster) + s.memQueue(homeCluster, at)
 		ctr.LocalMisses++
 	default:
-		cycles = lat.RemoteMem + s.memQueue(homeCluster, at)
+		cycles = lat.RemoteMem*s.factorOf(homeCluster) + s.memQueue(homeCluster, at)
 		ctr.RemoteMisses++
 	}
 
@@ -302,7 +306,7 @@ func (s *System) miss(p int, at int64, line int64, write bool) int64 {
 // time at and returns the queueing delay behind the current backlog. The
 // backlog drains at one miss per MemOccupancy cycles.
 func (s *System) memQueue(cluster int, at int64) int64 {
-	occ := s.cfg.Lat.MemOccupancy
+	occ := s.cfg.Lat.MemOccupancy * s.factorOf(cluster)
 	if occ <= 0 {
 		return 0
 	}
@@ -317,6 +321,29 @@ func (s *System) memQueue(cluster int, at int64) int64 {
 	delay := int64(m.qlen * float64(occ))
 	m.qlen++
 	return delay
+}
+
+// DegradeMemory multiplies cluster's memory service latency and module
+// occupancy by factor from now on (fault injection). Dirty misses
+// serviced cache-to-cache still queue at the degraded module, so they
+// slow down too.
+func (s *System) DegradeMemory(cluster int, factor int64) {
+	if cluster < 0 || cluster >= len(s.mems) || factor < 1 {
+		return
+	}
+	if s.degrade == nil {
+		s.degrade = make([]int64, len(s.mems))
+	}
+	s.degrade[cluster] = factor
+}
+
+// factorOf returns the degradation multiplier for a cluster's memory
+// module (1 when healthy).
+func (s *System) factorOf(cluster int) int64 {
+	if s.degrade == nil || s.degrade[cluster] < 1 {
+		return 1
+	}
+	return s.degrade[cluster]
 }
 
 // upgrade obtains exclusive ownership of a line this processor already

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/coolrts/cool/internal/sim"
+	"github.com/coolrts/cool/internal/trace"
+)
+
+// This file implements graceful degradation: when a server's processor
+// is retired by fault injection, its queued work — object-affinity
+// tasks, whole task-affinity sets, plain/processor tasks, and parked
+// continuations — is drained and redistributed to the surviving
+// servers, respecting affinity where possible. All decisions are
+// deterministic functions of the victim id and queue contents, so a
+// faulted run replays exactly.
+
+// AliveServers returns the number of servers not retired by FailServer.
+func (s *Scheduler) AliveServers() int {
+	n := 0
+	for _, sv := range s.Srv {
+		if !sv.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// ServerAlive reports whether server sv has not been retired.
+func (s *Scheduler) ServerAlive(sv int) bool { return !s.Srv[sv].dead }
+
+// aliveServer maps sv to itself when alive, otherwise deterministically
+// to the nearest surviving server: same-cluster survivors first (they
+// share the dead server's local memory), then increasing processor
+// distance. Returns sv unchanged if no server survives.
+func (s *Scheduler) aliveServer(sv int) int {
+	if !s.Srv[sv].dead {
+		return sv
+	}
+	n := s.Cfg.Processors
+	for d := 1; d < n; d++ {
+		v := (sv + d) % n
+		if !s.Srv[v].dead && s.Cfg.SameCluster(sv, v) {
+			return v
+		}
+	}
+	for d := 1; d < n; d++ {
+		v := (sv + d) % n
+		if !s.Srv[v].dead {
+			return v
+		}
+	}
+	return sv
+}
+
+// spreadAlive returns surviving servers in rotation, for load-balanced
+// redistribution of tasks with no binding affinity.
+func (s *Scheduler) spreadAlive() int {
+	n := s.Cfg.Processors
+	for i := 0; i < n; i++ {
+		v := s.failRR % n
+		s.failRR++
+		if !s.Srv[v].dead {
+			return v
+		}
+	}
+	return 0
+}
+
+// failoverTarget picks the surviving server for one redistributed task.
+// Task-affinity sets move as a unit (the first member picks the new
+// home, the rest follow); object-bound tasks stay as close to their
+// object's home memory as possible; everything else is spread for load
+// balance.
+func (s *Scheduler) failoverTarget(td *TaskDesc) int {
+	switch td.Class {
+	case ClassTaskSet:
+		if h, ok := s.setHome[td.AffObj]; ok && !s.Srv[h].dead {
+			return h
+		}
+		tgt := s.spreadAlive()
+		s.setHome[td.AffObj] = tgt
+		return tgt
+	case ClassObjectBound:
+		return s.aliveServer(td.Server)
+	default:
+		return s.spreadAlive()
+	}
+}
+
+// moveTo re-enqueues a drained task on a surviving server.
+func (s *Scheduler) moveTo(td *TaskDesc, tgt, victim int, now int64) {
+	td.Server = tgt
+	tsv := s.Srv[tgt]
+	if td.Slot >= 0 {
+		q := &tsv.slots[td.Slot]
+		q.push(td)
+		tsv.nonEmpty.add(q)
+	} else {
+		tsv.plain.push(td)
+	}
+	tsv.queued++
+	s.Mon.Per[victim].Redistributed++
+	s.Trace.Add(now, victim, trace.KindRedistribute, td.T.Name, int64(tgt))
+}
+
+// FailServer retires server victim: every task queued there is drained
+// and redistributed to surviving servers, the task it was running (if
+// any) is re-enqueued as a continuation elsewhere, and the stealing
+// victim list shrinks (victimOrder skips dead servers). Safe to call
+// for an already-dead server (no-op).
+func (s *Scheduler) FailServer(victim int, running *sim.Task, now int64) {
+	sv := s.Srv[victim]
+	if sv.dead {
+		return
+	}
+	sv.dead = true
+	s.Mon.Per[victim].FaultEvents++
+	s.Trace.Add(now, victim, trace.KindFault, "proc-fail", 0)
+
+	var resumes, tasks []*TaskDesc
+	for td := sv.resume.pop(); td != nil; td = sv.resume.pop() {
+		resumes = append(resumes, td)
+	}
+	for td := sv.plain.pop(); td != nil; td = sv.plain.pop() {
+		tasks = append(tasks, td)
+	}
+	for q := sv.nonEmpty.head; q != nil; q = sv.nonEmpty.head {
+		for td := q.pop(); td != nil; td = q.pop() {
+			tasks = append(tasks, td)
+		}
+		sv.nonEmpty.removeQ(q)
+	}
+	sv.cur = nil
+	sv.queued = 0
+
+	if s.AliveServers() == 0 {
+		// No survivor to hand work to; the engine reports the stall.
+		return
+	}
+	for _, td := range tasks {
+		s.moveTo(td, s.failoverTarget(td), victim, now)
+	}
+	for _, td := range resumes {
+		tgt := s.aliveServer(victim)
+		td.LastProc = tgt
+		tsv := s.Srv[tgt]
+		tsv.resume.push(td)
+		tsv.queued++
+		s.Mon.Per[victim].Redistributed++
+		s.Trace.Add(now, victim, trace.KindRedistribute, td.T.Name, int64(tgt))
+	}
+	if running != nil {
+		if td, ok := running.Data.(*TaskDesc); ok {
+			tgt := s.aliveServer(victim)
+			s.Eng.Unblock(running, now)
+			td.LastProc = tgt
+			tsv := s.Srv[tgt]
+			tsv.resume.push(td)
+			tsv.queued++
+			s.Mon.Per[victim].Redistributed++
+			s.Trace.Add(now, victim, trace.KindRedistribute, td.T.Name, int64(tgt))
+		}
+	}
+	s.Eng.NotifyWork(now)
+}
+
+// NoteFault records a non-fatal fault event (slowdown, stall, memory
+// degradation) against a processor for perfmon and tracing.
+func (s *Scheduler) NoteFault(now int64, proc int, what string, arg int64) {
+	if proc >= 0 && proc < len(s.Mon.Per) {
+		s.Mon.Per[proc].FaultEvents++
+	}
+	s.Trace.Add(now, proc, trace.KindFault, what, arg)
+}
+
+// Snapshot renders the per-server queue state — the diagnostic embedded
+// in no-progress watchdog errors.
+func (s *Scheduler) Snapshot() string {
+	var b strings.Builder
+	b.WriteString("scheduler queues:")
+	total := 0
+	for _, sv := range s.Srv {
+		state := ""
+		if sv.dead {
+			state = " dead"
+		}
+		fmt.Fprintf(&b, " P%d:%d%s", sv.id, sv.queued, state)
+		total += sv.queued
+	}
+	fmt.Fprintf(&b, " (total %d queued)", total)
+	return b.String()
+}

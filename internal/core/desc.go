@@ -64,6 +64,11 @@ type TaskDesc struct {
 	// re-enqueued there.
 	LastProc int
 
+	// BlockedOn is the synchronization object (*Monitor, *Cond, or
+	// *Scope) the task is currently parked on, nil while runnable. The
+	// public runtime reads it to build deadlock wait-for graphs.
+	BlockedOn any
+
 	dispatched bool // first dispatch already counted in perfmon
 
 	// Intrusive queue links.

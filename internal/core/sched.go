@@ -70,6 +70,7 @@ type server struct {
 	nonEmpty nonEmptyList // non-empty task-affinity queues
 	cur      *taskQueue   // slot currently being drained back-to-back
 	queued   int          // total tasks queued on this server
+	dead     bool         // processor retired by fault injection
 }
 
 // Scheduler implements sim.Dispatcher with the paper's policies.
@@ -82,6 +83,7 @@ type Scheduler struct {
 	Trace   *trace.Log // nil disables tracing
 	Srv     []*server
 	rr      int           // round-robin cursor (Base mode, AffNone spread)
+	failRR  int           // rotation cursor for failover redistribution
 	setHome map[int64]int // task-affinity set -> server currently hosting it
 }
 
@@ -122,8 +124,21 @@ func (s *Scheduler) slotOf(addr int64) int {
 }
 
 // Place resolves an affinity specification to (class, server, slot,
-// setObj), implementing Table 1's semantics.
+// setObj), implementing Table 1's semantics. If the preferred server
+// has been retired by fault injection, the placement falls over to the
+// nearest surviving server (task-affinity sets re-home as a unit).
 func (s *Scheduler) Place(a Affinity, spawner int) (Class, int, int, int64) {
+	class, sv, slot, obj := s.place(a, spawner)
+	if s.Srv[sv].dead {
+		sv = s.aliveServer(sv)
+		if class == ClassTaskSet {
+			s.setHome[obj] = sv
+		}
+	}
+	return class, sv, slot, obj
+}
+
+func (s *Scheduler) place(a Affinity, spawner int) (Class, int, int, int64) {
 	if s.Pol.IgnoreHints {
 		sv := s.rr % s.Cfg.Processors
 		s.rr++
@@ -168,14 +183,20 @@ func (s *Scheduler) Place(a Affinity, spawner int) (Class, int, int, int64) {
 	panic(fmt.Sprintf("core: unknown affinity kind %d", a.Kind))
 }
 
-// leastLoaded returns the server with the fewest queued tasks (ties go
-// to the lowest id).
+// leastLoaded returns the surviving server with the fewest queued tasks
+// (ties go to the lowest id).
 func (s *Scheduler) leastLoaded() int {
-	best := 0
+	best := -1
 	for i, sv := range s.Srv {
-		if sv.queued < s.Srv[best].queued {
+		if sv.dead {
+			continue
+		}
+		if best < 0 || sv.queued < s.Srv[best].queued {
 			best = i
 		}
+	}
+	if best < 0 {
+		return 0
 	}
 	return best
 }
@@ -191,6 +212,9 @@ func (s *Scheduler) SetClusterStealingOnly(on bool) {
 // Enqueue places a ready task on its server's queues and wakes idle
 // processors. now is the simulated time the task became available.
 func (s *Scheduler) Enqueue(td *TaskDesc, now int64) {
+	if s.Srv[td.Server].dead {
+		td.Server = s.aliveServer(td.Server)
+	}
 	sv := s.Srv[td.Server]
 	if td.Slot >= 0 {
 		q := &sv.slots[td.Slot]
@@ -208,6 +232,9 @@ func (s *Scheduler) Enqueue(td *TaskDesc, now int64) {
 // on and wakes idle processors.
 func (s *Scheduler) Resume(td *TaskDesc, now int64) {
 	s.Eng.Unblock(td.T, now)
+	if s.Srv[td.LastProc].dead {
+		td.LastProc = s.aliveServer(td.LastProc)
+	}
 	sv := s.Srv[td.LastProc]
 	sv.resume.push(td)
 	sv.queued++
@@ -230,6 +257,9 @@ func (s *Scheduler) wake(server int, now int64) {
 // non-empty slots, then the plain queue), then stealing.
 func (s *Scheduler) Dispatch(p *sim.Proc) *sim.Task {
 	sv := s.Srv[p.ID]
+	if sv.dead {
+		return nil
+	}
 	lat := s.Cfg.Lat
 
 	if td := s.takeLocal(sv); td != nil {
@@ -320,21 +350,22 @@ func (s *Scheduler) steal(p *sim.Proc, thief *server) *TaskDesc {
 
 // victimOrder returns the servers to probe. Same-cluster victims come
 // first when ClusterStealFirst is set; remote victims are omitted when
-// ClusterStealingOnly is set.
+// ClusterStealingOnly is set. Servers retired by fault injection are
+// skipped, so the victim list shrinks as processors fail.
 func (s *Scheduler) victimOrder(thief int) []int {
 	n := s.Cfg.Processors
 	order := make([]int, 0, n-1)
 	if s.Pol.ClusterStealFirst || s.Pol.ClusterStealingOnly {
 		for d := 1; d < n; d++ {
 			v := (thief + d) % n
-			if s.Cfg.SameCluster(thief, v) {
+			if !s.Srv[v].dead && s.Cfg.SameCluster(thief, v) {
 				order = append(order, v)
 			}
 		}
 		if !s.Pol.ClusterStealingOnly {
 			for d := 1; d < n; d++ {
 				v := (thief + d) % n
-				if !s.Cfg.SameCluster(thief, v) {
+				if !s.Srv[v].dead && !s.Cfg.SameCluster(thief, v) {
 					order = append(order, v)
 				}
 			}
@@ -342,7 +373,10 @@ func (s *Scheduler) victimOrder(thief int) []int {
 		return order
 	}
 	for d := 1; d < n; d++ {
-		order = append(order, (thief+d)%n)
+		v := (thief + d) % n
+		if !s.Srv[v].dead {
+			order = append(order, v)
+		}
 	}
 	return order
 }

@@ -19,6 +19,12 @@ type Monitor struct {
 // Locked reports whether the monitor is currently held.
 func (m *Monitor) Locked() bool { return m.owner != nil }
 
+// Owner returns the descriptor of the task holding m (nil if unlocked).
+func (m *Monitor) Owner() *TaskDesc { return m.owner }
+
+// Waiters returns how many tasks are parked waiting to acquire m.
+func (m *Monitor) Waiters() int { return len(m.waiters) }
+
 // Lock acquires m for the running task, blocking (and yielding the
 // processor to other tasks) while another task holds it.
 func (s *Scheduler) Lock(ctx *sim.Ctx, m *Monitor) {
@@ -35,7 +41,9 @@ func (s *Scheduler) Lock(ctx *sim.Ctx, m *Monitor) {
 	m.waiters = append(m.waiters, td)
 	s.Mon.Per[ctx.Proc().ID].LockBlocks++
 	s.TraceBlock(ctx)
+	td.BlockedOn = m
 	ctx.Block()
+	td.BlockedOn = nil
 	// Ownership was transferred to us by Unlock before we resumed.
 }
 
@@ -65,10 +73,13 @@ type Cond struct {
 // Wait atomically releases m and blocks until signalled, then reacquires
 // m before returning.
 func (s *Scheduler) Wait(ctx *sim.Ctx, c *Cond, m *Monitor) {
-	c.waiters = append(c.waiters, Desc(ctx))
+	td := Desc(ctx)
+	c.waiters = append(c.waiters, td)
 	s.Unlock(ctx, m)
 	s.TraceBlock(ctx)
+	td.BlockedOn = c
 	ctx.Block()
+	td.BlockedOn = nil
 	s.Lock(ctx, m)
 }
 
@@ -131,7 +142,10 @@ func (s *Scheduler) ScopeWait(ctx *sim.Ctx, sc *Scope) {
 	if sc.waiter != nil {
 		panic("core: multiple waiters on one waitfor scope")
 	}
-	sc.waiter = Desc(ctx)
+	td := Desc(ctx)
+	sc.waiter = td
 	s.TraceBlock(ctx)
+	td.BlockedOn = sc
 	ctx.Block()
+	td.BlockedOn = nil
 }

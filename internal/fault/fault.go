@@ -1,0 +1,211 @@
+// Package fault defines deterministic fault-injection plans for the
+// simulated machine. A Plan is an explicit list of fault events —
+// processor slowdowns, stalls, permanent failures, memory-module
+// degradation, and injected task panics — that the runtime applies at
+// fixed simulated times. Because every event is pinned to simulated
+// time (not wall clock) and plans carry no hidden randomness, a run
+// with the same seed and the same plan is exactly reproducible: fault
+// experiments replay cycle for cycle.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind classifies one fault event.
+type Kind uint8
+
+const (
+	// Slowdown multiplies every cycle charged on a processor by Factor
+	// for Cycles simulated cycles (0 = for the rest of the run) — a
+	// straggler.
+	Slowdown Kind = iota
+	// Stall freezes a processor for Cycles cycles at time At (a long
+	// non-fatal hiccup: thermal throttle, interrupt storm).
+	Stall
+	// Fail retires a processor permanently at time At. Its queued work
+	// is redistributed to the surviving servers.
+	Fail
+	// MemDegrade multiplies a cluster memory module's service latency
+	// and occupancy by Factor from time At onward.
+	MemDegrade
+	// TaskPanic makes the Nth task spawned with name Task panic when it
+	// first runs, exercising the structured failure path.
+	TaskPanic
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Slowdown:
+		return "slowdown"
+	case Stall:
+		return "stall"
+	case Fail:
+		return "fail"
+	case MemDegrade:
+		return "memdegrade"
+	case TaskPanic:
+		return "taskpanic"
+	}
+	return "?"
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind    Kind
+	At      int64  // simulated cycle the fault strikes (not used by TaskPanic)
+	Proc    int    // target processor (Slowdown, Stall, Fail)
+	Cluster int    // target memory module (MemDegrade)
+	Factor  int64  // cost multiplier >= 2 (Slowdown, MemDegrade)
+	Cycles  int64  // stall length, or slowdown duration (0 = permanent)
+	Task    string // task name (TaskPanic)
+	Nth     int    // which spawn with that name panics, 0-based (TaskPanic)
+}
+
+// String renders one event.
+func (ev Event) String() string {
+	switch ev.Kind {
+	case Slowdown:
+		if ev.Cycles > 0 {
+			return fmt.Sprintf("slowdown P%d x%d @%d for %d", ev.Proc, ev.Factor, ev.At, ev.Cycles)
+		}
+		return fmt.Sprintf("slowdown P%d x%d @%d", ev.Proc, ev.Factor, ev.At)
+	case Stall:
+		return fmt.Sprintf("stall P%d for %d @%d", ev.Proc, ev.Cycles, ev.At)
+	case Fail:
+		return fmt.Sprintf("fail P%d @%d", ev.Proc, ev.At)
+	case MemDegrade:
+		return fmt.Sprintf("memdegrade C%d x%d @%d", ev.Cluster, ev.Factor, ev.At)
+	case TaskPanic:
+		return fmt.Sprintf("panic task %q #%d", ev.Task, ev.Nth)
+	}
+	return "?"
+}
+
+// Plan is an ordered list of fault events. The zero value is an empty
+// plan; the builder methods append and return the plan for chaining.
+type Plan struct {
+	Events []Event
+}
+
+// Slow schedules a slowdown of proc by factor at time at, lasting
+// duration cycles (0 = rest of run).
+func (p *Plan) Slow(proc int, at, factor, duration int64) *Plan {
+	p.Events = append(p.Events, Event{Kind: Slowdown, Proc: proc, At: at, Factor: factor, Cycles: duration})
+	return p
+}
+
+// Stall schedules a stall of proc for cycles at time at.
+func (p *Plan) Stall(proc int, at, cycles int64) *Plan {
+	p.Events = append(p.Events, Event{Kind: Stall, Proc: proc, At: at, Cycles: cycles})
+	return p
+}
+
+// Fail schedules a permanent failure of proc at time at.
+func (p *Plan) Fail(proc int, at int64) *Plan {
+	p.Events = append(p.Events, Event{Kind: Fail, Proc: proc, At: at})
+	return p
+}
+
+// DegradeMemory schedules degradation of cluster's memory module by
+// factor from time at onward.
+func (p *Plan) DegradeMemory(cluster int, at, factor int64) *Plan {
+	p.Events = append(p.Events, Event{Kind: MemDegrade, Cluster: cluster, At: at, Factor: factor})
+	return p
+}
+
+// PanicTask makes the nth task spawned with the given name panic.
+func (p *Plan) PanicTask(name string, nth int) *Plan {
+	p.Events = append(p.Events, Event{Kind: TaskPanic, Task: name, Nth: nth})
+	return p
+}
+
+// Validate checks the plan against a machine with procs processors and
+// clusters memory modules. At least one processor must survive all Fail
+// events, so the program can always make progress.
+func (p *Plan) Validate(procs, clusters int) error {
+	failed := make(map[int]bool)
+	for i, ev := range p.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %d (%s): negative time %d", i, ev.Kind, ev.At)
+		}
+		switch ev.Kind {
+		case Slowdown:
+			if ev.Proc < 0 || ev.Proc >= procs {
+				return fmt.Errorf("fault: event %d: processor %d out of range [0,%d)", i, ev.Proc, procs)
+			}
+			if ev.Factor < 2 {
+				return fmt.Errorf("fault: event %d: slowdown factor %d must be >= 2", i, ev.Factor)
+			}
+			if ev.Cycles < 0 {
+				return fmt.Errorf("fault: event %d: negative slowdown duration %d", i, ev.Cycles)
+			}
+		case Stall:
+			if ev.Proc < 0 || ev.Proc >= procs {
+				return fmt.Errorf("fault: event %d: processor %d out of range [0,%d)", i, ev.Proc, procs)
+			}
+			if ev.Cycles <= 0 {
+				return fmt.Errorf("fault: event %d: stall length %d must be positive", i, ev.Cycles)
+			}
+		case Fail:
+			if ev.Proc < 0 || ev.Proc >= procs {
+				return fmt.Errorf("fault: event %d: processor %d out of range [0,%d)", i, ev.Proc, procs)
+			}
+			failed[ev.Proc] = true
+		case MemDegrade:
+			if ev.Cluster < 0 || ev.Cluster >= clusters {
+				return fmt.Errorf("fault: event %d: cluster %d out of range [0,%d)", i, ev.Cluster, clusters)
+			}
+			if ev.Factor < 2 {
+				return fmt.Errorf("fault: event %d: degrade factor %d must be >= 2", i, ev.Factor)
+			}
+		case TaskPanic:
+			if ev.Task == "" {
+				return fmt.Errorf("fault: event %d: empty task name", i)
+			}
+			if ev.Nth < 0 {
+				return fmt.Errorf("fault: event %d: negative task index %d", i, ev.Nth)
+			}
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	if len(failed) >= procs {
+		return fmt.Errorf("fault: plan fails all %d processors; at least one must survive", procs)
+	}
+	return nil
+}
+
+// Random builds a reproducible plan of n non-panic fault events
+// (slowdowns, stalls, memory degradation, and at most procs-1 permanent
+// failures) for stress testing. The same seed always yields the same
+// plan.
+func Random(seed int64, procs, clusters, n int) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{}
+	fails := 0
+	for i := 0; i < n; i++ {
+		at := int64(rng.Intn(2_000_000))
+		proc := rng.Intn(procs)
+		switch rng.Intn(4) {
+		case 0:
+			p.Slow(proc, at, int64(2+rng.Intn(7)), int64(rng.Intn(500_000)))
+		case 1:
+			p.Stall(proc, at, int64(1+rng.Intn(200_000)))
+		case 2:
+			if clusters > 0 {
+				p.DegradeMemory(rng.Intn(clusters), at, int64(2+rng.Intn(4)))
+			}
+		case 3:
+			if fails < procs-1 {
+				fails++
+				p.Fail(proc, at)
+			} else {
+				p.Stall(proc, at, int64(1+rng.Intn(100_000)))
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestValidateCatchesBadEvents(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"proc out of range", (&Plan{}).Slow(8, 0, 4, 0), "out of range"},
+		{"negative proc", (&Plan{}).Fail(-1, 0), "out of range"},
+		{"factor too small", (&Plan{}).Slow(0, 0, 1, 0), "factor"},
+		{"negative time", (&Plan{}).Stall(0, -5, 100), "negative time"},
+		{"zero stall", (&Plan{}).Stall(0, 0, 0), "stall length"},
+		{"cluster out of range", (&Plan{}).DegradeMemory(2, 0, 4), "out of range"},
+		{"empty task name", (&Plan{}).PanicTask("", 0), "task name"},
+		{"all procs fail", (&Plan{}).Fail(0, 0).Fail(1, 0), "must survive"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate(2, 2)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	ok := (&Plan{}).Slow(1, 100, 4, 0).Stall(0, 50, 1000).Fail(1, 200).
+		DegradeMemory(0, 0, 2).PanicTask("worker", 3)
+	if err := ok.Validate(2, 2); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestRandomPlansAreDeterministicAndValid(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a := Random(seed, 8, 2, 12)
+		b := Random(seed, 8, 2, 12)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two Random calls disagree", seed)
+		}
+		if err := a.Validate(8, 2); err != nil {
+			t.Fatalf("seed %d: random plan invalid: %v", seed, err)
+		}
+	}
+	if reflect.DeepEqual(Random(1, 8, 2, 12), Random(2, 8, 2, 12)) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	p := (&Plan{}).Slow(3, 10, 4, 500).Slow(3, 10, 4, 0).Stall(1, 5, 99).
+		Fail(2, 7).DegradeMemory(1, 3, 8).PanicTask("w", 2)
+	for i, want := range []string{"slowdown", "slowdown", "stall", "fail", "memdegrade", "panic"} {
+		if got := p.Events[i].String(); !strings.Contains(got, want) {
+			t.Errorf("event %d: %q missing %q", i, got, want)
+		}
+	}
+}

@@ -32,6 +32,10 @@ type Counters struct {
 	StealsRemote int64 // successful steals from a remote cluster
 	SetSteals    int64 // whole task-affinity sets stolen
 	LockBlocks   int64 // monitor acquisitions that had to block
+
+	// Fault injection and degradation.
+	FaultEvents   int64 // injected fault events that struck this processor
+	Redistributed int64 // tasks drained off this (failed) server to survivors
 }
 
 // Misses returns the total cache misses serviced by any memory.
@@ -62,6 +66,8 @@ func (c *Counters) Add(o Counters) {
 	c.StealsRemote += o.StealsRemote
 	c.SetSteals += o.SetSteals
 	c.LockBlocks += o.LockBlocks
+	c.FaultEvents += o.FaultEvents
+	c.Redistributed += o.Redistributed
 }
 
 // Monitor holds one Counters per processor.

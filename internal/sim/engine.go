@@ -13,7 +13,6 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
-	"sort"
 )
 
 // Dispatcher supplies tasks to idle processors. Dispatch may charge
@@ -40,6 +39,12 @@ type Proc struct {
 	dispatchQ     bool  // a dispatch event is pending
 	dispatchAt    int64 // time of the pending dispatch event
 	dispatchEpoch uint64
+
+	// Fault-injection state (see fault.go).
+	failed      bool  // retired by FailProc; never dispatches again
+	speedFactor int64 // >1 while degraded: every charge is multiplied
+	slowUntil   int64 // clock at which the slowdown lapses
+	stalled     int64 // cycles lost to injected stalls
 }
 
 // Engine drives the simulation.
@@ -55,8 +60,16 @@ type Engine struct {
 
 	liveTasks int
 	blocked   map[*Task]struct{}
+	tasks     []*Task // every task created, for leak-free teardown
 	started   bool
 	failure   error
+
+	// Fault-injection state (see fault.go).
+	limit    int64         // no-progress watchdog (0 = off)
+	snapshot func() string // scheduler diagnostic for watchdog errors
+	onFail   func(p *Proc, running *Task, now int64)
+	panicAt  map[string]map[int]bool // task name -> creation indices to panic
+	spawnSeq map[string]int          // creation-order counter per task name
 }
 
 // New creates an engine with n processors.
@@ -116,7 +129,7 @@ func (e *Engine) at(t int64, fn func()) {
 // time t. Each woken processor will call the Dispatcher.
 func (e *Engine) NotifyWork(t int64) {
 	for _, p := range e.Procs {
-		if p.parked {
+		if p.parked && !p.failed {
 			e.queueDispatch(p, t)
 		}
 	}
@@ -134,6 +147,9 @@ func (e *Engine) NotifyProc(p *Proc, t int64) {
 // skipped via the epoch check); a later request while an earlier one is
 // pending is dropped.
 func (e *Engine) queueDispatch(p *Proc, t int64) {
+	if p.failed {
+		return
+	}
 	if t < p.Clock {
 		t = p.Clock
 	}
@@ -155,7 +171,7 @@ func (e *Engine) queueDispatch(p *Proc, t int64) {
 // dispatch asks the Dispatcher for work for processor p.
 func (e *Engine) dispatch(p *Proc) {
 	p.dispatchQ = false
-	if p.cur != nil || e.failure != nil {
+	if p.cur != nil || p.failed || e.failure != nil {
 		return
 	}
 	if e.now > p.Clock {
@@ -257,6 +273,10 @@ func (e *Engine) Run() error {
 	e.started = true
 	for len(e.events) > 0 && e.failure == nil {
 		ev := heap.Pop(&e.events).(*event)
+		if e.limit > 0 && ev.time > e.limit && e.liveTasks > 0 {
+			e.failure = e.watchdogError()
+			break
+		}
 		e.now = ev.time
 		ev.fn()
 	}
@@ -265,7 +285,7 @@ func (e *Engine) Run() error {
 		return e.failure
 	}
 	if len(e.blocked) > 0 {
-		return fmt.Errorf("sim: deadlock: %d task(s) blocked forever (%s)", len(e.blocked), e.blockedNames())
+		return e.deadlockError()
 	}
 	if e.liveTasks > 0 {
 		return fmt.Errorf("sim: %d task(s) never ran to completion", e.liveTasks)
@@ -273,37 +293,16 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-func (e *Engine) blockedNames() string {
-	names := make([]string, 0, len(e.blocked))
-	for t := range e.blocked {
-		names = append(names, t.Name)
-	}
-	sort.Strings(names)
-	if len(names) > 8 {
-		names = names[:8]
-	}
-	s := ""
-	for i, n := range names {
-		if i > 0 {
-			s += ", "
-		}
-		s += n
-	}
-	return s
-}
-
-// killRemaining terminates parked coroutines so no goroutines leak after
-// a failed or deadlocked run.
+// killRemaining terminates every started-but-unfinished coroutine —
+// blocked, queued, or detached from a failed processor — so no
+// goroutines leak after a failed, deadlocked, or watchdogged run.
 func (e *Engine) killRemaining() {
-	for t := range e.blocked {
+	for _, t := range e.tasks {
 		if t.startedCoro && !t.done {
 			t.kill()
 		}
 	}
 	for _, p := range e.Procs {
-		if p.cur != nil && p.cur.startedCoro && !p.cur.done {
-			p.cur.kill()
-			p.cur = nil
-		}
+		p.cur = nil
 	}
 }

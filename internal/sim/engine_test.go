@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -143,16 +144,31 @@ func TestDeadlockDetected(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "deadlock") {
 		t.Fatalf("err = %v, want deadlock", err)
 	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T, want *DeadlockError", err)
+	}
+	if len(de.Tasks) != 1 || de.Tasks[0].Name != "stuck" {
+		t.Fatalf("blocked tasks = %v, want [stuck]", de.Tasks)
+	}
 }
 
 func TestTaskPanicBecomesError(t *testing.T) {
 	e, d := newTestEngine(t, 1)
 	d.add(e.NewTask("boom", 0, func(c *Ctx) {
+		c.Charge(77)
 		panic("kaboom")
 	}))
 	err := e.Run()
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Fatalf("err = %v, want panic message", err)
+	}
+	var tf *TaskFailure
+	if !errors.As(err, &tf) {
+		t.Fatalf("err = %T, want *TaskFailure", err)
+	}
+	if tf.Task != "boom" || tf.Proc != 0 || tf.Time != 77 || tf.Injected {
+		t.Fatalf("failure = %+v, want task boom on P0 at t=77, not injected", tf)
 	}
 }
 

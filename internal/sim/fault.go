@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// TaskFailure is the structured error produced when a task coroutine
+// panics: the task's identity, where and when (in simulated time) it
+// failed, the panic value, and the stack. Injected marks panics planted
+// by a fault plan rather than raised by application code.
+type TaskFailure struct {
+	Task     string
+	Proc     int
+	Time     int64
+	Value    any
+	Stack    string
+	Injected bool
+}
+
+func (f *TaskFailure) Error() string {
+	return fmt.Sprintf("sim: task %q panicked on P%d at cycle %d: %v\n%s",
+		f.Task, f.Proc, f.Time, f.Value, f.Stack)
+}
+
+// DeadlockError reports tasks blocked forever at the end of a run. The
+// runtime layered above inspects Tasks (and the descriptors hung off
+// their Data fields) to build a wait-for graph.
+type DeadlockError struct {
+	Time  int64
+	Tasks []*Task // blocked tasks, sorted by name for determinism
+}
+
+func (e *DeadlockError) Error() string {
+	names := make([]string, 0, len(e.Tasks))
+	for _, t := range e.Tasks {
+		names = append(names, t.Name)
+	}
+	if len(names) > 8 {
+		names = append(names[:8], "...")
+	}
+	return fmt.Sprintf("sim: deadlock: %d task(s) blocked forever (%s)",
+		len(e.Tasks), strings.Join(names, ", "))
+}
+
+// WatchdogError reports that simulated time passed the configured cycle
+// limit with work still outstanding — the no-progress watchdog fired
+// instead of letting the simulation run (or spin) unboundedly.
+type WatchdogError struct {
+	Limit    int64
+	Time     int64
+	Live     int     // tasks not yet run to completion
+	Blocked  int     // tasks parked on synchronization
+	Clocks   []int64 // per-processor clocks at the stop
+	Snapshot string  // scheduler-provided queue snapshot (may be empty)
+}
+
+func (e *WatchdogError) Error() string {
+	s := fmt.Sprintf("sim: no progress: cycle limit %d exceeded at t=%d with %d live task(s), %d blocked",
+		e.Limit, e.Time, e.Live, e.Blocked)
+	if e.Snapshot != "" {
+		s += "\n" + e.Snapshot
+	}
+	return s
+}
+
+// InjectedPanic is the panic value used for plan-injected task panics.
+type InjectedPanic struct{ Task string }
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("injected fault: task %q", p.Task)
+}
+
+// At schedules fn at simulated time t (clamped to now). Fault plans use
+// it to pin fault events to simulated time before or during a run.
+func (e *Engine) At(t int64, fn func()) { e.at(t, fn) }
+
+// SetCycleLimit arms the no-progress watchdog: once simulated time
+// passes limit, Run stops and returns a *WatchdogError instead of
+// continuing (or hanging). 0 disables the watchdog.
+func (e *Engine) SetCycleLimit(limit int64) { e.limit = limit }
+
+// SetSnapshot installs a diagnostic callback whose result is embedded in
+// the watchdog error (the scheduler reports its queue state here).
+func (e *Engine) SetSnapshot(fn func() string) { e.snapshot = fn }
+
+// SetFailHandler installs the callback invoked when a processor is
+// retired by FailProc. running is the task that was executing there (nil
+// if idle); the handler re-homes it and the processor's queued work.
+func (e *Engine) SetFailHandler(fn func(p *Proc, running *Task, now int64)) {
+	e.onFail = fn
+}
+
+// Failed reports whether the processor has been retired by FailProc.
+func (p *Proc) Failed() bool { return p.failed }
+
+// StalledCycles returns the cycles this processor lost to injected
+// stalls.
+func (p *Proc) StalledCycles() int64 { return p.stalled }
+
+// SlowProc multiplies every cycle subsequently charged on p by factor,
+// for duration cycles of p's clock (0 = rest of the run).
+func (e *Engine) SlowProc(p *Proc, factor, duration int64) {
+	if p.failed || factor <= 1 {
+		return
+	}
+	p.speedFactor = factor
+	if duration <= 0 {
+		p.slowUntil = math.MaxInt64
+	} else {
+		start := p.Clock
+		if start < e.now {
+			start = e.now
+		}
+		p.slowUntil = start + duration
+	}
+}
+
+// StallProc freezes p for the given number of cycles starting now: its
+// clock jumps forward, so any task it holds (and any dispatch) resumes
+// only after the stall has passed.
+func (e *Engine) StallProc(p *Proc, cycles int64) {
+	if p.failed || cycles <= 0 {
+		return
+	}
+	if p.Clock < e.now {
+		if p.parked {
+			p.Idle += e.now - p.Clock
+		}
+		p.Clock = e.now
+	}
+	p.Clock += cycles
+	p.stalled += cycles
+}
+
+// FailProc retires p permanently: it will never dispatch again. The
+// task it was running (if any) is detached and handed, along with the
+// processor itself, to the fail handler so the scheduler can
+// redistribute queued work to survivors.
+func (e *Engine) FailProc(p *Proc) {
+	if p.failed {
+		return
+	}
+	p.failed = true
+	p.parked = false
+	p.dispatchQ = false
+	p.dispatchEpoch++ // cancel any pending dispatch event
+	running := p.cur
+	p.cur = nil // pending slice-resume events no-op via the p.cur guard
+	if e.onFail != nil {
+		e.onFail(p, running, e.now)
+	}
+}
+
+// InjectTaskPanic arranges for the nth task created with the given name
+// (0-based creation order) to panic when it first runs.
+func (e *Engine) InjectTaskPanic(name string, nth int) {
+	if e.panicAt == nil {
+		e.panicAt = make(map[string]map[int]bool)
+		e.spawnSeq = make(map[string]int)
+	}
+	set := e.panicAt[name]
+	if set == nil {
+		set = make(map[int]bool)
+		e.panicAt[name] = set
+	}
+	set[nth] = true
+}
+
+// shouldInjectPanic consults the registered injections for a task being
+// created, consuming one creation-order slot for its name.
+func (e *Engine) shouldInjectPanic(name string) bool {
+	if e.panicAt == nil {
+		return false
+	}
+	set := e.panicAt[name]
+	if set == nil {
+		return false
+	}
+	seq := e.spawnSeq[name]
+	e.spawnSeq[name] = seq + 1
+	return set[seq]
+}
+
+// watchdogError builds the diagnostic returned when the cycle limit is
+// exceeded.
+func (e *Engine) watchdogError() *WatchdogError {
+	w := &WatchdogError{
+		Limit:   e.limit,
+		Time:    e.now,
+		Live:    e.liveTasks,
+		Blocked: len(e.blocked),
+		Clocks:  make([]int64, len(e.Procs)),
+	}
+	for i, p := range e.Procs {
+		w.Clocks[i] = p.Clock
+	}
+	if e.snapshot != nil {
+		w.Snapshot = e.snapshot()
+	}
+	return w
+}
+
+// deadlockError builds the typed error for tasks blocked forever.
+func (e *Engine) deadlockError() *DeadlockError {
+	tasks := make([]*Task, 0, len(e.blocked))
+	for t := range e.blocked {
+		tasks = append(tasks, t)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].Name < tasks[j].Name })
+	return &DeadlockError{Time: e.now, Tasks: tasks}
+}

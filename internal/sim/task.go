@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"fmt"
-	"runtime/debug"
-)
+import "runtime/debug"
 
 type status int
 
@@ -39,6 +36,9 @@ type Task struct {
 // NewTask creates a task that becomes runnable no earlier than readyAt.
 // The task does not run until a Dispatcher hands it to a processor.
 func (e *Engine) NewTask(name string, readyAt int64, fn func(*Ctx)) *Task {
+	if e.shouldInjectPanic(name) {
+		fn = func(*Ctx) { panic(InjectedPanic{Task: name}) }
+	}
 	t := &Task{
 		Name:     name,
 		fn:       fn,
@@ -47,6 +47,7 @@ func (e *Engine) NewTask(name string, readyAt int64, fn func(*Ctx)) *Task {
 	}
 	t.ctx = &Ctx{eng: e, task: t, readyAt: readyAt}
 	e.liveTasks++
+	e.tasks = append(e.tasks, t)
 	return t
 }
 
@@ -64,7 +65,16 @@ func (t *Task) run() {
 				t.done = true
 				return
 			}
-			t.err = fmt.Errorf("sim: task %q panicked: %v\n%s", t.Name, r, debug.Stack())
+			f := &TaskFailure{Task: t.Name, Value: r, Stack: string(debug.Stack())}
+			if ip, ok := r.(InjectedPanic); ok {
+				f.Injected = true
+				f.Value = ip.String()
+			}
+			if p := t.ctx.proc; p != nil {
+				f.Proc = p.ID
+				f.Time = p.Clock
+			}
+			t.err = f
 			t.done = true
 			t.statusCh <- statusFailed
 		}
@@ -114,6 +124,9 @@ func (c *Ctx) Now() int64 { return c.proc.Clock }
 func (c *Ctx) Charge(cycles int64) {
 	if cycles < 0 {
 		panic("sim: negative charge")
+	}
+	if f := c.proc.speedFactor; f > 1 && c.proc.Clock < c.proc.slowUntil {
+		cycles *= f
 	}
 	c.proc.Clock += cycles
 	if c.proc.Clock >= c.sliceEnd {

@@ -28,6 +28,12 @@ const (
 	KindReady
 	// KindDone: the task ran to completion on Proc.
 	KindDone
+	// KindFault: an injected fault struck Proc (Task names the fault
+	// kind, Arg is kind-specific).
+	KindFault
+	// KindRedistribute: a task was moved off a failed server (Proc =
+	// failed server, Arg = surviving server that received it).
+	KindRedistribute
 )
 
 // String names the kind.
@@ -45,6 +51,10 @@ func (k Kind) String() string {
 		return "ready"
 	case KindDone:
 		return "done"
+	case KindFault:
+		return "fault"
+	case KindRedistribute:
+		return "redist"
 	}
 	return "?"
 }

@@ -1,9 +1,12 @@
 package cool_test
 
 import (
+	"errors"
 	"math/rand"
+	goruntime "runtime"
 	"testing"
 	"testing/quick"
+	"time"
 
 	cool "github.com/coolrts/cool"
 )
@@ -15,8 +18,15 @@ import (
 // synchronization bug tends to surface as a deadlock, a panic, a lost
 // task, or non-determinism.
 func randomProgram(t *testing.T, seed int64, procs int) (int64, cool.Counters) {
+	return randomProgramFaulted(t, seed, procs, nil)
+}
+
+// randomProgramFaulted is randomProgram under an optional fault plan: the
+// same task tree must still complete every task exactly once while
+// processors slow down, stall, or die underneath it.
+func randomProgramFaulted(t *testing.T, seed int64, procs int, plan *cool.FaultPlan) (int64, cool.Counters) {
 	t.Helper()
-	rt, err := cool.NewRuntime(cool.Config{Processors: procs, Seed: seed})
+	rt, err := cool.NewRuntime(cool.Config{Processors: procs, Seed: seed, Faults: plan})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,6 +124,126 @@ func TestRandomProgramsDeterministic(t *testing.T) {
 		c2, t2 := randomProgram(t, seed, 8)
 		if c1 != c2 || t1 != t2 {
 			t.Fatalf("seed %d: non-deterministic (%d vs %d cycles)", seed, c1, c2)
+		}
+	}
+}
+
+// clustersFor mirrors the DASH default of four processors per cluster.
+func clustersFor(procs int) int { return (procs + 3) / 4 }
+
+// TestRandomProgramsSurviveRandomFaults throws randomized fault plans
+// (slowdowns, stalls, memory degradation, and up to procs-1 permanent
+// failures) at the randomized task tree: every seed must still complete
+// all tasks, and each seed must replay identically.
+func TestRandomProgramsSurviveRandomFaults(t *testing.T) {
+	f := func(seedRaw uint16, procsRaw uint8) bool {
+		seed := int64(seedRaw) + 1
+		procs := 2 + int(procsRaw)%15
+		plan := cool.RandomFaultPlan(seed, procs, clustersFor(procs), 5)
+		c1, t1 := randomProgramFaulted(t, seed, procs, plan)
+		if t.Failed() {
+			return false
+		}
+		c2, t2 := randomProgramFaulted(t, seed, procs, plan)
+		if c1 != c2 || t1 != t2 {
+			t.Errorf("seed %d procs %d: faulted run non-deterministic (%d vs %d cycles)", seed, procs, c1, c2)
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomInjectedPanicsAreDeterministic plants a panic into a random
+// root task: the run must fail with a typed *cool.TaskPanicError that
+// strikes the same processor at the same simulated cycle every time.
+func TestRandomInjectedPanicsAreDeterministic(t *testing.T) {
+	run := func(seed int64, nth int) *cool.TaskPanicError {
+		plan := cool.NewFaultPlan().PanicTask("root", nth)
+		rt, err := cool.NewRuntime(cool.Config{Processors: 8, Seed: seed, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = rt.Run(func(ctx *cool.Ctx) {
+			ctx.WaitFor(func() {
+				for i := 0; i < 6; i++ {
+					ctx.Spawn("root", func(c *cool.Ctx) { c.Compute(1000) })
+				}
+			})
+		})
+		var pe *cool.TaskPanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("seed %d nth %d: err = %v (%T), want *cool.TaskPanicError", seed, nth, err, err)
+		}
+		return pe
+	}
+	for _, seed := range []int64{5, 21} {
+		for _, nth := range []int{0, 3, 5} {
+			a, b := run(seed, nth), run(seed, nth)
+			if a.Task != "root" || !a.Injected {
+				t.Fatalf("panic error = %+v, want injected panic in root", a)
+			}
+			if a.Proc != b.Proc || a.Time != b.Time {
+				t.Fatalf("seed %d nth %d: panic not deterministic (P%d@%d vs P%d@%d)",
+					seed, nth, a.Proc, a.Time, b.Proc, b.Time)
+			}
+		}
+	}
+}
+
+// TestNoGoroutineLeakUnderFaults mirrors the engine leak tests at the
+// public layer: repeated faulted runs — including ones ending in injected
+// panics, which kill redistributed and parked coroutines — must not
+// accumulate goroutines.
+func TestNoGoroutineLeakUnderFaults(t *testing.T) {
+	baseline := goruntime.NumGoroutine()
+	for i := 0; i < 30; i++ {
+		seed := int64(i + 1)
+		plan := cool.RandomFaultPlan(seed, 8, clustersFor(8), 4)
+		if i%2 == 1 {
+			plan.PanicTask("rnd", i%5) // may or may not strike; both fine
+		}
+		rt, err := cool.NewRuntime(cool.Config{Processors: 8, Seed: seed, Faults: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runRandomTree(t, rt, seed)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if goruntime.NumGoroutine() <= baseline+5 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d", baseline, goruntime.NumGoroutine())
+}
+
+// runRandomTree runs a small spawn tree where only a *TaskPanicError from
+// an armed injection is an acceptable failure.
+func runRandomTree(t *testing.T, rt *cool.Runtime, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	err := rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			for i := 0; i < 8; i++ {
+				n := int64(rng.Intn(3000))
+				ctx.Spawn("rnd", func(c *cool.Ctx) {
+					c.Compute(500 + n)
+					if n%3 == 0 {
+						c.WaitFor(func() {
+							c.Spawn("rnd", func(cc *cool.Ctx) { cc.Compute(n) })
+						})
+					}
+				})
+			}
+		})
+	})
+	if err != nil {
+		var pe *cool.TaskPanicError
+		if !errors.As(err, &pe) || !pe.Injected {
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
 }

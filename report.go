@@ -32,6 +32,9 @@ type Counters struct {
 	StealsRemote int64
 	SetSteals    int64
 	LockBlocks   int64
+
+	FaultEvents   int64 // injected fault events that struck this processor
+	Redistributed int64 // tasks drained off this (failed) server to survivors
 }
 
 // Misses returns the total cache misses.
@@ -115,6 +118,8 @@ func (rt *Runtime) Report() Report {
 			StealsRemote:  p.StealsRemote,
 			SetSteals:     p.SetSteals,
 			LockBlocks:    p.LockBlocks,
+			FaultEvents:   p.FaultEvents,
+			Redistributed: p.Redistributed,
 		}
 		r.Per[i] = c
 		addCounters(&r.Total, c)
@@ -148,6 +153,8 @@ func addCounters(dst *Counters, c Counters) {
 	dst.StealsRemote += c.StealsRemote
 	dst.SetSteals += c.SetSteals
 	dst.LockBlocks += c.LockBlocks
+	dst.FaultEvents += c.FaultEvents
+	dst.Redistributed += c.Redistributed
 }
 
 // String renders a compact human-readable summary.
