@@ -43,6 +43,11 @@ var (
 )
 
 func main() {
+	// The benchmark regression harness has its own flag set (see
+	// bench.go) and short-circuits the experiment machinery.
+	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench") {
+		os.Exit(benchMain(os.Args[1:]))
+	}
 	exp := flag.String("exp", "all", "experiment id (see command doc)")
 	flag.Parse()
 

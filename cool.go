@@ -116,6 +116,7 @@ type Runtime struct {
 	sched  *core.Scheduler
 	mon    *perfmon.Monitor
 	ran    bool
+	tdFree []*core.TaskDesc // recycled task descriptors (see ctx.go)
 
 	// setupErr records the first invalid pre-Run operation (e.g. a
 	// non-positive allocation size); Run reports it instead of running.

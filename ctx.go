@@ -164,13 +164,12 @@ func (c *Ctx) Spawn(name string, fn func(*Ctx), opts ...SpawnOpt) {
 	if server != p {
 		c.sc.Charge(rt.cfg.Lat.EnqueueAway)
 	}
-	td := &core.TaskDesc{
-		Class:  class,
-		Server: server,
-		Slot:   slot,
-		AffObj: affObj,
-		Scope:  c.scope,
-	}
+	td := rt.newTaskDesc()
+	td.Class = class
+	td.Server = server
+	td.Slot = slot
+	td.AffObj = affObj
+	td.Scope = c.scope
 	if td.Scope != nil {
 		rt.sched.ScopeAdd(td.Scope)
 	}
@@ -195,10 +194,33 @@ func (c *Ctx) Spawn(name string, fn func(*Ctx), opts ...SpawnOpt) {
 			rt.sched.ScopeDone(sc, td.Scope)
 		}
 		rt.sched.TraceDone(sc)
+		rt.freeTaskDesc(td)
 	})
 	t.Data = td
 	td.T = t
 	rt.sched.Enqueue(td, c.sc.Now())
+}
+
+// newTaskDesc takes a zeroed descriptor off the runtime's free list, or
+// allocates one. Coroutines run one at a time under the engine loop, so
+// the free list needs no locking.
+func (rt *Runtime) newTaskDesc() *core.TaskDesc {
+	if n := len(rt.tdFree); n > 0 {
+		td := rt.tdFree[n-1]
+		rt.tdFree[n-1] = nil
+		rt.tdFree = rt.tdFree[:n-1]
+		*td = core.TaskDesc{}
+		return td
+	}
+	return &core.TaskDesc{}
+}
+
+// freeTaskDesc recycles a descriptor. Called only from the completion
+// path of the spawn wrapper: a completed task is off every queue and is
+// never dispatched again. Killed or panicked tasks skip this, so their
+// descriptors stay valid for failure reporting.
+func (rt *Runtime) freeTaskDesc(td *core.TaskDesc) {
+	rt.tdFree = append(rt.tdFree, td)
 }
 
 // pickHome returns the index of the object whose home server holds the

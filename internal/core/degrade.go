@@ -100,7 +100,7 @@ func (s *Scheduler) moveTo(td *TaskDesc, tgt, victim int, now int64) {
 	} else {
 		tsv.plain.push(td)
 	}
-	tsv.queued++
+	s.noteEnqueued(tsv, 1)
 	s.Mon.Per[victim].Redistributed++
 	s.Trace.Add(now, victim, trace.KindRedistribute, td.T.Name, int64(tgt))
 }
@@ -116,6 +116,8 @@ func (s *Scheduler) FailServer(victim int, running *sim.Task, now int64) {
 		return
 	}
 	sv.dead = true
+	s.llDirty = true // victim may have been the least-loaded candidate
+	s.rebuildVictimRings()
 	s.Mon.Per[victim].FaultEvents++
 	s.Trace.Add(now, victim, trace.KindFault, "proc-fail", 0)
 
@@ -133,6 +135,7 @@ func (s *Scheduler) FailServer(victim int, running *sim.Task, now int64) {
 		sv.nonEmpty.removeQ(q)
 	}
 	sv.cur = nil
+	s.queuedTotal -= sv.queued
 	sv.queued = 0
 
 	if s.AliveServers() == 0 {
@@ -147,7 +150,7 @@ func (s *Scheduler) FailServer(victim int, running *sim.Task, now int64) {
 		td.LastProc = tgt
 		tsv := s.Srv[tgt]
 		tsv.resume.push(td)
-		tsv.queued++
+		s.noteEnqueued(tsv, 1)
 		s.Mon.Per[victim].Redistributed++
 		s.Trace.Add(now, victim, trace.KindRedistribute, td.T.Name, int64(tgt))
 	}
@@ -158,7 +161,7 @@ func (s *Scheduler) FailServer(victim int, running *sim.Task, now int64) {
 			td.LastProc = tgt
 			tsv := s.Srv[tgt]
 			tsv.resume.push(td)
-			tsv.queued++
+			s.noteEnqueued(tsv, 1)
 			s.Mon.Per[victim].Redistributed++
 			s.Trace.Add(now, victim, trace.KindRedistribute, td.T.Name, int64(tgt))
 		}

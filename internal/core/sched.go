@@ -73,6 +73,13 @@ type server struct {
 	dead     bool         // processor retired by fault injection
 }
 
+// wakeFanout is the number of idle processors a targeted wakeup notifies.
+// Waking the lowest-numbered parked processors matches the effective
+// winner order of a full broadcast while queues are shallow; once the
+// machine-wide backlog exceeds the fanout, wake falls back to broadcast
+// so every idle processor joins the stealing.
+const wakeFanout = 4
+
 // Scheduler implements sim.Dispatcher with the paper's policies.
 type Scheduler struct {
 	Cfg     machine.Config
@@ -85,6 +92,24 @@ type Scheduler struct {
 	rr      int           // round-robin cursor (Base mode, AffNone spread)
 	failRR  int           // rotation cursor for failover redistribution
 	setHome map[int64]int // task-affinity set -> server currently hosting it
+
+	// Precomputed victim rings, one per thief, in (thief+d)%P probe
+	// order. Built once at construction and rebuilt only when a
+	// processor fails, so a steal probe walks a ready-made slice instead
+	// of allocating and filtering the victim list per probe.
+	ringCluster [][]int // surviving same-cluster victims
+	ringRemote  [][]int // surviving remote victims
+	ringFlat    [][]int // all surviving victims
+
+	queuedTotal int // tasks queued machine-wide (sum of sv.queued)
+
+	// Lazily-repaired least-loaded tracking: llBest is the lowest-id
+	// server with the fewest queued tasks unless llDirty, in which case
+	// the next leastLoaded query rescans. Dequeues repair the candidate
+	// in O(1); only an enqueue on the current best (or its death) can
+	// invalidate it.
+	llBest  int
+	llDirty bool
 }
 
 // NewScheduler wires a scheduler to an engine.
@@ -101,8 +126,70 @@ func NewScheduler(cfg machine.Config, pol Policy, eng *sim.Engine, space *memsim
 		}
 		s.Srv[i] = sv
 	}
+	s.rebuildVictimRings()
 	eng.SetDispatcher(s)
 	return s
+}
+
+// rebuildVictimRings recomputes every thief's probe order. Called at
+// construction and after a processor failure; ring backing arrays are
+// reused across rebuilds.
+func (s *Scheduler) rebuildVictimRings() {
+	n := s.Cfg.Processors
+	if s.ringFlat == nil {
+		s.ringCluster = make([][]int, n)
+		s.ringRemote = make([][]int, n)
+		s.ringFlat = make([][]int, n)
+		for t := 0; t < n; t++ {
+			s.ringFlat[t] = make([]int, 0, n-1)
+			s.ringCluster[t] = make([]int, 0, s.Cfg.ClusterSize)
+			s.ringRemote[t] = make([]int, 0, n-1)
+		}
+	}
+	for t := 0; t < n; t++ {
+		cl, rem, flat := s.ringCluster[t][:0], s.ringRemote[t][:0], s.ringFlat[t][:0]
+		for d := 1; d < n; d++ {
+			v := (t + d) % n
+			if s.Srv[v].dead {
+				continue
+			}
+			flat = append(flat, v)
+			if s.Cfg.SameCluster(t, v) {
+				cl = append(cl, v)
+			} else {
+				rem = append(rem, v)
+			}
+		}
+		s.ringCluster[t], s.ringRemote[t], s.ringFlat[t] = cl, rem, flat
+	}
+}
+
+// noteEnqueued accounts n tasks added to sv's queues.
+func (s *Scheduler) noteEnqueued(sv *server, n int) {
+	sv.queued += n
+	s.queuedTotal += n
+	if sv.id == s.llBest {
+		s.llDirty = true // the least-loaded candidate got more loaded
+	}
+}
+
+// noteDequeued accounts n tasks removed from sv's queues and repairs the
+// least-loaded candidate: a shrinking server can only displace the
+// current best, never invalidate another.
+func (s *Scheduler) noteDequeued(sv *server, n int) {
+	sv.queued -= n
+	s.queuedTotal -= n
+	if sv.dead || s.llDirty {
+		return
+	}
+	b := s.Srv[s.llBest]
+	if b.dead {
+		s.llDirty = true
+		return
+	}
+	if sv.queued < b.queued || (sv.queued == b.queued && sv.id < b.id) {
+		s.llBest = sv.id
+	}
 }
 
 // homeServer maps an object address to its home server: the processor
@@ -184,8 +271,13 @@ func (s *Scheduler) place(a Affinity, spawner int) (Class, int, int, int64) {
 }
 
 // leastLoaded returns the surviving server with the fewest queued tasks
-// (ties go to the lowest id).
+// (ties go to the lowest id). The common case reads the incrementally
+// maintained candidate; a full rescan happens only after the candidate
+// was invalidated (it gained work or died).
 func (s *Scheduler) leastLoaded() int {
+	if !s.llDirty && !s.Srv[s.llBest].dead {
+		return s.llBest
+	}
 	best := -1
 	for i, sv := range s.Srv {
 		if sv.dead {
@@ -198,6 +290,7 @@ func (s *Scheduler) leastLoaded() int {
 	if best < 0 {
 		return 0
 	}
+	s.llBest, s.llDirty = best, false
 	return best
 }
 
@@ -209,11 +302,27 @@ func (s *Scheduler) SetClusterStealingOnly(on bool) {
 	s.Pol.ClusterStealingOnly = on
 }
 
+// reroute maps a task's target server off a dead processor. A
+// task-affinity set member follows its set's current (surviving) home so
+// the set stays together; if the set's recorded home is itself dead, the
+// member re-homes the set and later placements follow it.
+func (s *Scheduler) reroute(td *TaskDesc, from int) int {
+	if td.Class == ClassTaskSet {
+		if h, ok := s.setHome[td.AffObj]; ok && !s.Srv[h].dead {
+			return h
+		}
+		tgt := s.aliveServer(from)
+		s.setHome[td.AffObj] = tgt
+		return tgt
+	}
+	return s.aliveServer(from)
+}
+
 // Enqueue places a ready task on its server's queues and wakes idle
 // processors. now is the simulated time the task became available.
 func (s *Scheduler) Enqueue(td *TaskDesc, now int64) {
 	if s.Srv[td.Server].dead {
-		td.Server = s.aliveServer(td.Server)
+		td.Server = s.reroute(td, td.Server)
 	}
 	sv := s.Srv[td.Server]
 	if td.Slot >= 0 {
@@ -223,7 +332,7 @@ func (s *Scheduler) Enqueue(td *TaskDesc, now int64) {
 	} else {
 		sv.plain.push(td)
 	}
-	sv.queued++
+	s.noteEnqueued(sv, 1)
 	s.Trace.Add(now, -1, trace.KindEnqueue, td.T.Name, int64(td.Server))
 	s.wake(td.Server, now)
 }
@@ -233,22 +342,33 @@ func (s *Scheduler) Enqueue(td *TaskDesc, now int64) {
 func (s *Scheduler) Resume(td *TaskDesc, now int64) {
 	s.Eng.Unblock(td.T, now)
 	if s.Srv[td.LastProc].dead {
-		td.LastProc = s.aliveServer(td.LastProc)
+		td.LastProc = s.reroute(td, td.LastProc)
 	}
 	sv := s.Srv[td.LastProc]
 	sv.resume.push(td)
-	sv.queued++
+	s.noteEnqueued(sv, 1)
 	s.Trace.Add(now, -1, trace.KindReady, td.T.Name, int64(td.LastProc))
 	s.wake(td.LastProc, now)
 }
 
-// wake notifies the preferred server immediately and other idle
-// processors after the idle-poll delay, so a task's home server gets
-// first crack at it before thieves do.
+// wake notifies the preferred server immediately and idle thieves after
+// the idle-poll delay, so a task's home server gets first crack at it
+// before thieves do. While the machine-wide backlog is shallow only the
+// first wakeFanout idle processors are woken (a full broadcast would
+// wake every parked processor to race for at most a handful of tasks);
+// once queues back up the wake falls back to broadcast.
 func (s *Scheduler) wake(server int, now int64) {
 	s.Eng.NotifyProc(s.Eng.Procs[server], now)
-	if !s.Pol.DisableStealing {
-		s.Eng.NotifyWork(now + s.Cfg.Lat.IdlePoll)
+	if s.Pol.DisableStealing {
+		return
+	}
+	t := now + s.Cfg.Lat.IdlePoll
+	if s.queuedTotal > wakeFanout {
+		s.Mon.Per[server].BroadcastWakes++
+		s.Eng.NotifyWork(t)
+	} else {
+		s.Mon.Per[server].TargetedWakes++
+		s.Eng.NotifyIdle(t, wakeFanout)
 	}
 }
 
@@ -276,14 +396,14 @@ func (s *Scheduler) Dispatch(p *sim.Proc) *sim.Task {
 // takeLocal removes the next task from sv's own queues.
 func (s *Scheduler) takeLocal(sv *server) *TaskDesc {
 	if td := sv.resume.pop(); td != nil {
-		sv.queued--
+		s.noteDequeued(sv, 1)
 		return td
 	}
 	// Drain the current task-affinity queue back to back.
 	if sv.cur != nil && !sv.cur.empty() {
 		td := sv.cur.pop()
 		s.afterSlotPop(sv, sv.cur)
-		sv.queued--
+		s.noteDequeued(sv, 1)
 		return td
 	}
 	sv.cur = nil
@@ -293,11 +413,11 @@ func (s *Scheduler) takeLocal(sv *server) *TaskDesc {
 		if !q.empty() {
 			sv.cur = q
 		}
-		sv.queued--
+		s.noteDequeued(sv, 1)
 		return td
 	}
 	if td := sv.plain.pop(); td != nil {
-		sv.queued--
+		s.noteDequeued(sv, 1)
 		return td
 	}
 	return nil
@@ -319,9 +439,23 @@ func (s *Scheduler) steal(p *sim.Proc, thief *server) *TaskDesc {
 	if s.Pol.DisableStealing {
 		return nil
 	}
+	if s.Pol.ClusterStealFirst || s.Pol.ClusterStealingOnly {
+		if td := s.stealScan(p, thief, s.ringCluster[p.ID]); td != nil {
+			return td
+		}
+		if s.Pol.ClusterStealingOnly {
+			return nil
+		}
+		return s.stealScan(p, thief, s.ringRemote[p.ID])
+	}
+	return s.stealScan(p, thief, s.ringFlat[p.ID])
+}
+
+// stealScan probes one precomputed victim ring in order.
+func (s *Scheduler) stealScan(p *sim.Proc, thief *server, ring []int) *TaskDesc {
 	ctr := &s.Mon.Per[p.ID]
 	lat := s.Cfg.Lat
-	for _, vid := range s.victimOrder(p.ID) {
+	for _, vid := range ring {
 		v := s.Srv[vid]
 		if v.queued == 0 {
 			continue
@@ -348,37 +482,21 @@ func (s *Scheduler) steal(p *sim.Proc, thief *server) *TaskDesc {
 	return nil
 }
 
-// victimOrder returns the servers to probe. Same-cluster victims come
-// first when ClusterStealFirst is set; remote victims are omitted when
+// victimOrder returns the servers a thief would probe, assembled from the
+// precomputed rings. Same-cluster victims come first when
+// ClusterStealFirst is set; remote victims are omitted when
 // ClusterStealingOnly is set. Servers retired by fault injection are
-// skipped, so the victim list shrinks as processors fail.
+// absent from the rings, so the victim list shrinks as processors fail.
+// (Diagnostics and tests; the steal path walks the rings directly.)
 func (s *Scheduler) victimOrder(thief int) []int {
-	n := s.Cfg.Processors
-	order := make([]int, 0, n-1)
 	if s.Pol.ClusterStealFirst || s.Pol.ClusterStealingOnly {
-		for d := 1; d < n; d++ {
-			v := (thief + d) % n
-			if !s.Srv[v].dead && s.Cfg.SameCluster(thief, v) {
-				order = append(order, v)
-			}
-		}
+		order := append([]int(nil), s.ringCluster[thief]...)
 		if !s.Pol.ClusterStealingOnly {
-			for d := 1; d < n; d++ {
-				v := (thief + d) % n
-				if !s.Srv[v].dead && !s.Cfg.SameCluster(thief, v) {
-					order = append(order, v)
-				}
-			}
+			order = append(order, s.ringRemote[thief]...)
 		}
 		return order
 	}
-	for d := 1; d < n; d++ {
-		v := (thief + d) % n
-		if !s.Srv[v].dead {
-			order = append(order, v)
-		}
-	}
-	return order
+	return append([]int(nil), s.ringFlat[thief]...)
 }
 
 // stealFrom takes work from victim v for the thief. Preference order:
@@ -402,7 +520,7 @@ func (s *Scheduler) stealFrom(v, thief *server, thiefID int) *TaskDesc {
 				moved = append(moved, td)
 			}
 			s.afterSlotPop(v, q)
-			v.queued -= len(moved)
+			s.noteDequeued(v, len(moved))
 			s.setHome[obj] = thiefID
 			first := moved[0]
 			for _, td := range moved[1:] {
@@ -410,8 +528,8 @@ func (s *Scheduler) stealFrom(v, thief *server, thiefID int) *TaskDesc {
 				tq := &thief.slots[td.Slot]
 				tq.push(td)
 				thief.nonEmpty.add(tq)
-				thief.queued++
 			}
+			s.noteEnqueued(thief, len(moved)-1)
 			first.Server = thiefID
 			if len(moved) > 1 {
 				thief.cur = &thief.slots[first.Slot]
@@ -420,20 +538,27 @@ func (s *Scheduler) stealFrom(v, thief *server, thiefID int) *TaskDesc {
 			return first
 		}
 	}
-	// A plain or processor-affinity task. Explicitly placed
-	// (processor-affinity) tasks are taken only from a backlogged
-	// victim: with a single queued task, its own server will service it
-	// promptly, and moving it defeats the placement.
-	if td := v.plain.head; td != nil {
-		if td.Class != ClassProcessor || v.queued >= 2 {
-			v.plain.remove(td)
-			v.queued--
-			return td
+	// A plain or processor-affinity task. Scan past explicitly placed
+	// (processor-affinity) tasks: they should stay put while a freely
+	// stealable task sits behind them. A pinned task itself is taken only
+	// from a backlogged victim — with a single queued task its own server
+	// will service it promptly, and moving it defeats the placement.
+	for td := v.plain.head; td != nil; td = td.next {
+		if td.Class == ClassProcessor {
+			continue
 		}
+		v.plain.remove(td)
+		s.noteDequeued(v, 1)
+		return td
+	}
+	if td := v.plain.head; td != nil && v.queued >= 2 {
+		v.plain.remove(td)
+		s.noteDequeued(v, 1)
+		return td
 	}
 	// A parked continuation.
 	if td := v.resume.pop(); td != nil {
-		v.queued--
+		s.noteDequeued(v, 1)
 		return td
 	}
 	// Last resort: one object-bound (or task-set, if set stealing is
@@ -450,7 +575,7 @@ func (s *Scheduler) stealFrom(v, thief *server, thiefID int) *TaskDesc {
 		}
 		q.remove(head)
 		s.afterSlotPop(v, q)
-		v.queued--
+		s.noteDequeued(v, 1)
 		return head
 	}
 	return nil
@@ -483,11 +608,8 @@ func (s *Scheduler) TraceDone(ctx *sim.Ctx) {
 }
 
 // QueuedTasks returns the number of tasks currently enqueued machine-wide
-// (diagnostics and tests).
+// (diagnostics and tests). Maintained incrementally alongside the
+// per-server counts.
 func (s *Scheduler) QueuedTasks() int {
-	n := 0
-	for _, sv := range s.Srv {
-		n += sv.queued
-	}
-	return n
+	return s.queuedTotal
 }

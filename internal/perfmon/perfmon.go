@@ -33,6 +33,10 @@ type Counters struct {
 	SetSteals    int64 // whole task-affinity sets stolen
 	LockBlocks   int64 // monitor acquisitions that had to block
 
+	// Idle-wakeup traffic (counted against the waking server).
+	TargetedWakes  int64 // wakeups limited to the first K idle processors
+	BroadcastWakes int64 // wakeups that fell back to waking every idle processor
+
 	// Fault injection and degradation.
 	FaultEvents   int64 // injected fault events that struck this processor
 	Redistributed int64 // tasks drained off this (failed) server to survivors
@@ -66,6 +70,8 @@ func (c *Counters) Add(o Counters) {
 	c.StealsRemote += o.StealsRemote
 	c.SetSteals += o.SetSteals
 	c.LockBlocks += o.LockBlocks
+	c.TargetedWakes += o.TargetedWakes
+	c.BroadcastWakes += o.BroadcastWakes
 	c.FaultEvents += o.FaultEvents
 	c.Redistributed += o.Redistributed
 }

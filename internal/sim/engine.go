@@ -12,6 +12,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -52,11 +53,13 @@ type Engine struct {
 	Procs []*Proc
 	Rand  *rand.Rand
 
-	quantum int64
-	events  eventHeap
-	seq     uint64
-	now     int64
-	disp    Dispatcher
+	quantum   int64
+	events    eventHeap
+	eventFree []*event // recycled event records
+	idleWords []uint64 // bitmask of parked processors, one bit per ID
+	seq       uint64
+	now       int64
+	disp      Dispatcher
 
 	liveTasks int
 	blocked   map[*Task]struct{}
@@ -86,10 +89,25 @@ func New(n int, quantum int64, seed int64) *Engine {
 		blocked: make(map[*Task]struct{}),
 	}
 	e.Procs = make([]*Proc, n)
+	e.idleWords = make([]uint64, (n+63)/64)
 	for i := range e.Procs {
 		e.Procs[i] = &Proc{ID: i, eng: e, parked: true}
+		e.idleWords[i>>6] |= 1 << (uint(i) & 63)
 	}
 	return e
+}
+
+// setParked flips p's parked state, maintaining the idle bitmask that
+// lets NotifyWork/NotifyIdle find parked processors without scanning
+// every processor.
+func (e *Engine) setParked(p *Proc, parked bool) {
+	p.parked = parked
+	w, b := p.ID>>6, uint(p.ID)&63
+	if parked {
+		e.idleWords[w] |= 1 << b
+	} else {
+		e.idleWords[w] &^= 1 << b
+	}
 }
 
 // SetDispatcher installs the scheduling policy. Must be called before Run.
@@ -116,21 +134,77 @@ func (e *Engine) hasEarlierEvent(t int64) bool {
 	return len(e.events) > 0 && e.events[0].time < t
 }
 
-// at schedules fn to run at simulated time t (clamped to now).
-func (e *Engine) at(t int64, fn func()) {
+// newEvent takes an event record off the free list (or allocates one)
+// and stamps it with a clamped time and the next sequence number.
+func (e *Engine) newEvent(t int64) *event {
 	if t < e.now {
 		t = e.now
 	}
+	var ev *event
+	if n := len(e.eventFree); n > 0 {
+		ev = e.eventFree[n-1]
+		e.eventFree[n-1] = nil
+		e.eventFree = e.eventFree[:n-1]
+	} else {
+		ev = &event{}
+	}
 	e.seq++
-	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+	ev.time, ev.seq = t, e.seq
+	return ev
+}
+
+// at schedules fn to run at simulated time t (clamped to now). External
+// callers go through this closure form; engine-internal hot paths use
+// the typed atDispatch/atSlice records below.
+func (e *Engine) at(t int64, fn func()) {
+	ev := e.newEvent(t)
+	ev.kind, ev.fn = evFunc, fn
+	heap.Push(&e.events, ev)
+}
+
+// atDispatch schedules a dispatch wake for p; stale wakes are filtered
+// by the epoch check when the event fires.
+func (e *Engine) atDispatch(t int64, p *Proc, epoch uint64) {
+	ev := e.newEvent(t)
+	ev.kind, ev.p, ev.epoch = evDispatch, p, epoch
+	heap.Push(&e.events, ev)
+}
+
+// atSlice schedules the quantum-slice requeue of task tk on p.
+func (e *Engine) atSlice(t int64, p *Proc, tk *Task) {
+	ev := e.newEvent(t)
+	ev.kind, ev.p, ev.t = evSlice, p, tk
+	heap.Push(&e.events, ev)
 }
 
 // NotifyWork wakes every parked processor: new work became available at
-// time t. Each woken processor will call the Dispatcher.
+// time t. Each woken processor will call the Dispatcher. Parked
+// processors are found through the idle bitmask (ascending ID order,
+// matching a scan over Procs), so the cost scales with the number of
+// idle processors rather than the machine size.
 func (e *Engine) NotifyWork(t int64) {
-	for _, p := range e.Procs {
-		if p.parked && !p.failed {
-			e.queueDispatch(p, t)
+	for w, word := range e.idleWords {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			e.queueDispatch(e.Procs[w<<6|b], t)
+		}
+	}
+}
+
+// NotifyIdle wakes at most k parked processors, lowest IDs first — the
+// targeted alternative to NotifyWork for shallow backlogs, so a couple
+// of queued tasks don't wake the whole machine to race for them.
+func (e *Engine) NotifyIdle(t int64, k int) {
+	for w, word := range e.idleWords {
+		for word != 0 {
+			if k <= 0 {
+				return
+			}
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			e.queueDispatch(e.Procs[w<<6|b], t)
+			k--
 		}
 	}
 }
@@ -159,13 +233,7 @@ func (e *Engine) queueDispatch(p *Proc, t int64) {
 	p.dispatchQ = true
 	p.dispatchAt = t
 	p.dispatchEpoch++
-	epoch := p.dispatchEpoch
-	e.at(t, func() {
-		if p.dispatchEpoch != epoch {
-			return // superseded by an earlier wake
-		}
-		e.dispatch(p)
-	})
+	e.atDispatch(t, p, p.dispatchEpoch)
 }
 
 // dispatch asks the Dispatcher for work for processor p.
@@ -183,19 +251,24 @@ func (e *Engine) dispatch(p *Proc) {
 	t := e.disp.Dispatch(p)
 	if t == nil {
 		if !p.parked {
-			p.parked = true
+			e.setParked(p, true)
 			p.idleSince = p.Clock
 		}
 		return
 	}
-	if p.parked {
-		p.parked = false
+	wasParked := p.parked
+	if wasParked {
+		e.setParked(p, false)
 	}
-	e.runOn(p, t)
+	e.runOn(p, t, wasParked)
 }
 
-// runOn starts or resumes task t on processor p.
-func (e *Engine) runOn(p *Proc, t *Task) {
+// runOn starts or resumes task t on processor p. wasParked reports
+// whether p was parked when it picked t up: only then is a wait until
+// the task's ready time idle time — a busy processor that reaches a
+// not-yet-ready task merely advances its clock (the gap was already
+// accounted as Busy or steal overhead).
+func (e *Engine) runOn(p *Proc, t *Task, wasParked bool) {
 	if t.done {
 		panic("sim: dispatching a completed task")
 	}
@@ -203,9 +276,9 @@ func (e *Engine) runOn(p *Proc, t *Task) {
 	p.cur = t
 	t.ctx.proc = p
 	if t.ctx.readyAt > p.Clock {
-		// The processor had nothing runnable until the task became
-		// ready; the gap is idle time.
-		p.Idle += t.ctx.readyAt - p.Clock
+		if wasParked {
+			p.Idle += t.ctx.readyAt - p.Clock
+		}
 		p.Clock = t.ctx.readyAt
 	}
 	t.ctx.sliceEnd = p.Clock + e.quantum
@@ -227,12 +300,7 @@ func (e *Engine) resume(p *Proc, t *Task) {
 	case statusSlice:
 		// Task exhausted its quantum; requeue the slice so other
 		// processors with earlier clocks get to run first.
-		e.at(p.Clock, func() {
-			if p.cur == t {
-				t.ctx.sliceEnd = p.Clock + e.quantum
-				e.resume(p, t)
-			}
-		})
+		e.atSlice(p.Clock, p, t)
 	case statusBlocked:
 		p.cur = nil
 		e.blocked[t] = struct{}{}
@@ -278,7 +346,24 @@ func (e *Engine) Run() error {
 			break
 		}
 		e.now = ev.time
-		ev.fn()
+		// Copy the payload and recycle the record before firing: the
+		// handler may schedule new events and reuse this very record.
+		kind, p, t, epoch, fn := ev.kind, ev.p, ev.t, ev.epoch, ev.fn
+		*ev = event{}
+		e.eventFree = append(e.eventFree, ev)
+		switch kind {
+		case evDispatch:
+			if p.dispatchEpoch == epoch {
+				e.dispatch(p)
+			}
+		case evSlice:
+			if p.cur == t {
+				t.ctx.sliceEnd = p.Clock + e.quantum
+				e.resume(p, t)
+			}
+		default:
+			fn()
+		}
 	}
 	e.killRemaining()
 	if e.failure != nil {

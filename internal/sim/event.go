@@ -1,11 +1,26 @@
 package sim
 
+// Event kinds. The two hot-path kinds — dispatch wakes and quantum-slice
+// requeues — carry their operands in typed fields so scheduling an event
+// never allocates a closure; evFunc remains for external callers
+// (Engine.At, fault plans).
+const (
+	evFunc = iota
+	evDispatch
+	evSlice
+)
+
 // event is a scheduled engine action. Ties on time break by insertion
-// order (seq) so runs are deterministic.
+// order (seq) so runs are deterministic. Fired events are recycled
+// through the engine's free list.
 type event struct {
-	time int64
-	seq  uint64
-	fn   func()
+	time  int64
+	seq   uint64
+	kind  int
+	p     *Proc  // evDispatch, evSlice
+	t     *Task  // evSlice
+	epoch uint64 // evDispatch: stale-wake guard
+	fn    func() // evFunc
 }
 
 type eventHeap []*event

@@ -144,7 +144,7 @@ func (e *Engine) FailProc(p *Proc) {
 		return
 	}
 	p.failed = true
-	p.parked = false
+	e.setParked(p, false)
 	p.dispatchQ = false
 	p.dispatchEpoch++ // cancel any pending dispatch event
 	running := p.cur

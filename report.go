@@ -33,6 +33,9 @@ type Counters struct {
 	SetSteals    int64
 	LockBlocks   int64
 
+	TargetedWakes  int64 // idle wakeups limited to the first K parked processors
+	BroadcastWakes int64 // idle wakeups that woke every parked processor
+
 	FaultEvents   int64 // injected fault events that struck this processor
 	Redistributed int64 // tasks drained off this (failed) server to survivors
 }
@@ -116,10 +119,12 @@ func (rt *Runtime) Report() Report {
 			StealTries:    p.StealTries,
 			StealsLocal:   p.StealsLocal,
 			StealsRemote:  p.StealsRemote,
-			SetSteals:     p.SetSteals,
-			LockBlocks:    p.LockBlocks,
-			FaultEvents:   p.FaultEvents,
-			Redistributed: p.Redistributed,
+			SetSteals:      p.SetSteals,
+			LockBlocks:     p.LockBlocks,
+			TargetedWakes:  p.TargetedWakes,
+			BroadcastWakes: p.BroadcastWakes,
+			FaultEvents:    p.FaultEvents,
+			Redistributed:  p.Redistributed,
 		}
 		r.Per[i] = c
 		addCounters(&r.Total, c)
@@ -153,6 +158,8 @@ func addCounters(dst *Counters, c Counters) {
 	dst.StealsRemote += c.StealsRemote
 	dst.SetSteals += c.SetSteals
 	dst.LockBlocks += c.LockBlocks
+	dst.TargetedWakes += c.TargetedWakes
+	dst.BroadcastWakes += c.BroadcastWakes
 	dst.FaultEvents += c.FaultEvents
 	dst.Redistributed += c.Redistributed
 }
