@@ -48,6 +48,10 @@ func main() {
 	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench") {
 		os.Exit(benchMain(os.Args[1:]))
 	}
+	// Likewise the chaos-campaign driver (see chaos.go).
+	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-chaos") {
+		os.Exit(chaosMain(os.Args[1:]))
+	}
 	exp := flag.String("exp", "all", "experiment id (see command doc)")
 	flag.Parse()
 

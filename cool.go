@@ -104,6 +104,17 @@ type Config struct {
 	// and returns a *NoProgressError carrying a queue/clock snapshot
 	// instead of simulating (or hanging) forever.
 	CycleLimit int64
+	// Retry, when non-nil, enables transient-failure retries: task
+	// launches aborted by FailTask events or FlakyProcessor windows are
+	// re-placed on a different server and retried with exponential
+	// backoff (see RetryPolicy, including the panic interaction). When
+	// nil, the first transient abort fails the run.
+	Retry *RetryPolicy
+	// Deadline, when positive, bounds the run to that many simulated
+	// cycles: an over-budget run stops and returns a
+	// *DeadlineExceededError carrying a progress snapshot (per-server
+	// queue depths, blocked tasks and what they wait on).
+	Deadline int64
 }
 
 // Runtime is one simulated COOL program execution environment. Allocate
@@ -165,6 +176,9 @@ func NewRuntime(c Config) (*Runtime, error) {
 	if c.CycleLimit < 0 {
 		return nil, fmt.Errorf("cool: Config.CycleLimit must not be negative")
 	}
+	if c.Deadline < 0 {
+		return nil, fmt.Errorf("cool: Config.Deadline must not be negative")
+	}
 	if err := mc.Validate(); err != nil {
 		return nil, err
 	}
@@ -193,6 +207,16 @@ func NewRuntime(c Config) (*Runtime, error) {
 	if c.CycleLimit > 0 {
 		rt.eng.SetCycleLimit(c.CycleLimit)
 	}
+	if c.Deadline > 0 {
+		rt.eng.SetDeadline(c.Deadline)
+	}
+	if c.Retry != nil {
+		pol, err := c.Retry.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		rt.installRetry(pol)
+	}
 	if c.Faults != nil {
 		if err := rt.applyFaults(c.Faults); err != nil {
 			return nil, err
@@ -214,7 +238,9 @@ func (rt *Runtime) MachineConfig() machine.Config { return rt.cfg }
 // simulates until every task has completed. Failures come back as typed
 // errors: *TaskPanicError when a task panicked, *DeadlockError (with
 // the wait-for graph) when tasks blocked forever, *NoProgressError when
-// Config.CycleLimit was exceeded. Run never panics on task or
+// Config.CycleLimit was exceeded, *TaskAbortError when a transient
+// launch failure exhausted its retry budget, and *DeadlineExceededError
+// when Config.Deadline was exceeded. Run never panics on task or
 // configuration faults, and may be called only once.
 func (rt *Runtime) Run(main func(*Ctx)) (err error) {
 	if rt.ran {

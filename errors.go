@@ -94,6 +94,48 @@ func (e *NoProgressError) Error() string {
 	return s
 }
 
+// TaskAbortError is returned by Run when a transient launch failure
+// (a FailTask event or a FlakyProcessor window) struck a task and the
+// retry budget — zero attempts without Config.Retry — was exhausted.
+type TaskAbortError struct {
+	Task     string // task label passed to Spawn
+	Proc     int    // processor whose launch attempt failed last
+	Time     int64  // simulated cycle of the final abort
+	Attempts int    // launch attempts that failed (including the first)
+}
+
+func (e *TaskAbortError) Error() string {
+	return fmt.Sprintf("cool: task %q failed transiently on P%d at cycle %d: retry budget exhausted after %d aborted attempt(s)",
+		e.Task, e.Proc, e.Time, e.Attempts)
+}
+
+// DeadlineExceededError is returned by Run when Config.Deadline was set
+// and simulated time passed it with work still outstanding. Unlike
+// NoProgressError (a watchdog against runaway simulations), the
+// deadline is a hard budget on an otherwise healthy run, so the error
+// carries a progress snapshot: per-server queue depths and the blocked
+// tasks with what they wait on.
+type DeadlineExceededError struct {
+	Deadline     int64
+	Time         int64      // simulated cycle the run stopped
+	LiveTasks    int        // tasks not yet run to completion
+	BlockedTasks int        // tasks parked on synchronization
+	Clocks       []int64    // per-processor clocks at the stop
+	QueueDepths  []int      // queued tasks per server (-1 = dead server)
+	Waits        []WaitEdge // wait-for edges of the blocked tasks
+}
+
+func (e *DeadlineExceededError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cool: deadline %d exceeded at t=%d with %d live task(s), %d blocked; queues=%v",
+		e.Deadline, e.Time, e.LiveTasks, e.BlockedTasks, e.QueueDepths)
+	for _, w := range e.Waits {
+		b.WriteString("\n  ")
+		b.WriteString(w.String())
+	}
+	return b.String()
+}
+
 // wrapRunError converts engine-level failures into the public typed
 // errors.
 func (rt *Runtime) wrapRunError(err error) error {
@@ -113,6 +155,26 @@ func (rt *Runtime) wrapRunError(err error) error {
 	case *sim.DeadlockError:
 		de := &DeadlockError{Time: f.Time}
 		for _, t := range f.Tasks {
+			de.Waits = append(de.Waits, waitEdge(t))
+		}
+		return de
+	case *sim.TaskAbort:
+		return &TaskAbortError{
+			Task:     f.Task,
+			Proc:     f.Proc,
+			Time:     f.Time,
+			Attempts: f.Attempts,
+		}
+	case *sim.DeadlineError:
+		de := &DeadlineExceededError{
+			Deadline:     f.Deadline,
+			Time:         f.Time,
+			LiveTasks:    f.Live,
+			BlockedTasks: len(f.Blocked),
+			Clocks:       f.Clocks,
+			QueueDepths:  rt.sched.QueueDepths(),
+		}
+		for _, t := range f.Blocked {
 			de.Waits = append(de.Waits, waitEdge(t))
 		}
 		return de

@@ -2,6 +2,7 @@ package cool
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/coolrts/cool/internal/fault"
 	"github.com/coolrts/cool/internal/sim"
@@ -61,8 +62,66 @@ func (p *FaultPlan) PanicTask(name string, nth int) *FaultPlan {
 	return p
 }
 
+// FailTask aborts one launch attempt of the nth task spawned with the
+// given name (0-based creation order) — a transient failure, struck
+// before the task body runs. Stacking the same event fails successive
+// attempts. With Config.Retry the task is re-placed and retried;
+// without, Run returns a *TaskAbortError.
+func (p *FaultPlan) FailTask(name string, nth int) *FaultPlan {
+	p.plan.FailTask(name, nth)
+	return p
+}
+
+// FlakyProcessor opens a transient-failure window on processor proc:
+// every fresh task launch attempted there during [at, at+cycles)
+// aborts. Started tasks (continuations) are unaffected.
+func (p *FaultPlan) FlakyProcessor(proc int, at, cycles int64) *FaultPlan {
+	p.plan.Flaky(proc, at, cycles)
+	return p
+}
+
 // Len returns the number of events in the plan.
 func (p *FaultPlan) Len() int { return len(p.plan.Events) }
+
+// WithoutEvent returns a copy of the plan with event i removed — the
+// primitive the chaos driver's shrinker uses to minimize a failing
+// plan one event at a time.
+func (p *FaultPlan) WithoutEvent(i int) *FaultPlan {
+	q := &FaultPlan{}
+	q.plan.Events = append(q.plan.Events, p.plan.Events[:i]...)
+	q.plan.Events = append(q.plan.Events, p.plan.Events[i+1:]...)
+	return q
+}
+
+// BuilderString renders the plan as the chain of builder calls that
+// reconstructs it — the copy-pasteable repro the chaos driver prints
+// for a shrunk failing plan.
+func (p *FaultPlan) BuilderString() string {
+	var b strings.Builder
+	b.WriteString("cool.NewFaultPlan()")
+	for _, ev := range p.plan.Events {
+		b.WriteString(".\n\t")
+		switch ev.Kind {
+		case fault.Slowdown:
+			fmt.Fprintf(&b, "SlowProcessor(%d, %d, %d, %d)", ev.Proc, ev.At, ev.Factor, ev.Cycles)
+		case fault.Stall:
+			fmt.Fprintf(&b, "StallProcessor(%d, %d, %d)", ev.Proc, ev.At, ev.Cycles)
+		case fault.Fail:
+			fmt.Fprintf(&b, "FailProcessor(%d, %d)", ev.Proc, ev.At)
+		case fault.MemDegrade:
+			fmt.Fprintf(&b, "DegradeMemory(%d, %d, %d)", ev.Cluster, ev.At, ev.Factor)
+		case fault.TaskPanic:
+			fmt.Fprintf(&b, "PanicTask(%q, %d)", ev.Task, ev.Nth)
+		case fault.TaskFail:
+			fmt.Fprintf(&b, "FailTask(%q, %d)", ev.Task, ev.Nth)
+		case fault.Flaky:
+			fmt.Fprintf(&b, "FlakyProcessor(%d, %d, %d)", ev.Proc, ev.At, ev.Cycles)
+		default:
+			fmt.Fprintf(&b, "/* unknown event %v */", ev)
+		}
+	}
+	return b.String()
+}
 
 // RandomFaultPlan builds a reproducible plan of n non-panic fault
 // events (slowdowns, stalls, memory degradation, and at most procs-1
@@ -70,6 +129,16 @@ func (p *FaultPlan) Len() int { return len(p.plan.Events) }
 // the same plan.
 func RandomFaultPlan(seed int64, procs, clusters, n int) *FaultPlan {
 	return &FaultPlan{plan: *fault.Random(seed, procs, clusters, n)}
+}
+
+// RandomChaosPlan builds a reproducible plan of n chaos events drawn
+// from the full fault vocabulary — slowdowns, stalls, memory
+// degradation, permanent failures (at most half the processors), flaky
+// windows, and transient FailTask events against the given task names.
+// The same seed always yields the same, Validate-clean plan; it is the
+// generator behind the chaos campaign driver (coolbench -chaos).
+func RandomChaosPlan(seed int64, procs, clusters, n int, tasks []string) *FaultPlan {
+	return &FaultPlan{plan: *fault.RandomChaos(seed, procs, clusters, n, tasks)}
 }
 
 // applyFaults validates the plan against the machine and arms every
@@ -105,6 +174,13 @@ func (rt *Runtime) applyFaults(p *FaultPlan) error {
 			})
 		case fault.TaskPanic:
 			rt.eng.InjectTaskPanic(ev.Task, ev.Nth)
+		case fault.TaskFail:
+			rt.eng.InjectTaskAbort(ev.Task, ev.Nth)
+		case fault.Flaky:
+			rt.eng.AddFlakyWindow(ev.Proc, ev.At, ev.At+ev.Cycles)
+			rt.eng.At(ev.At, func() {
+				rt.sched.NoteFault(rt.eng.Now(), ev.Proc, "flaky", ev.Cycles)
+			})
 		}
 	}
 	rt.eng.SetFailHandler(func(p *sim.Proc, running *sim.Task, now int64) {

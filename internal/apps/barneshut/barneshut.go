@@ -382,11 +382,17 @@ func (ap *app) checksum() float64 {
 
 // Run executes the simulation under the given variant.
 func Run(procs int, v Variant, prm Params) (Result, error) {
+	return RunWith(cool.Config{Processors: procs}, v, prm)
+}
+
+// RunWith executes the simulation under an explicit base configuration
+// (fault plans, retry policy, deadline); the variant's scheduling knobs
+// are applied on top.
+func RunWith(cfg cool.Config, v Variant, prm Params) (Result, error) {
 	prm, err := prm.normalize()
 	if err != nil {
 		return Result{}, err
 	}
-	cfg := cool.Config{Processors: procs}
 	if v == Base {
 		cfg.Sched.IgnoreHints = true
 	}

@@ -306,11 +306,17 @@ func (ap *app) spawnGemm(ctx *cool.Ctx, i, j, k int) {
 
 // Run factors the workload on procs processors under the given variant.
 func Run(procs int, v Variant, prm Params) (Result, error) {
+	return RunWith(cool.Config{Processors: procs}, v, prm)
+}
+
+// RunWith factors the workload under an explicit base configuration
+// (fault plans, retry policy, deadline); the variant's scheduling knobs
+// are applied on top.
+func RunWith(cfg cool.Config, v Variant, prm Params) (Result, error) {
 	prm, err := prm.normalize()
 	if err != nil {
 		return Result{}, err
 	}
-	cfg := cool.Config{Processors: procs}
 	if v == Base {
 		cfg.Sched.IgnoreHints = true
 	}

@@ -159,10 +159,16 @@ func (ap *app) validate() error {
 
 // Run executes the elimination under the given variant.
 func Run(procs int, v Variant, prm Params) (Result, error) {
+	return RunWith(cool.Config{Processors: procs}, v, prm)
+}
+
+// RunWith executes the elimination under an explicit base configuration
+// (fault plans, retry policy, deadline); the variant's scheduling knobs
+// are applied on top.
+func RunWith(cfg cool.Config, v Variant, prm Params) (Result, error) {
 	prm = prm.normalize()
-	cfg := cool.Config{Processors: procs}
 	if prm.Uniform {
-		mc := machine.UniformBus(procs)
+		mc := machine.UniformBus(cfg.Processors)
 		cfg.Machine = &mc
 	}
 	if v == Base {

@@ -240,11 +240,18 @@ func (ap *app) iteration(ctx *cool.Ctx, procs int) {
 
 // Run executes the router under the given variant.
 func Run(procs int, v Variant, prm Params) (Result, error) {
+	return RunWith(cool.Config{Processors: procs}, v, prm)
+}
+
+// RunWith executes the router under an explicit base configuration
+// (fault plans, retry policy, deadline); the variant's scheduling knobs
+// are applied on top.
+func RunWith(cfg cool.Config, v Variant, prm Params) (Result, error) {
 	prm, err := prm.normalize()
 	if err != nil {
 		return Result{}, err
 	}
-	cfg := cool.Config{Processors: procs}
+	procs := cfg.Processors
 	if v == Base {
 		cfg.Sched.IgnoreHints = true
 	}

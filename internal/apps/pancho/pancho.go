@@ -265,32 +265,20 @@ func (ap *app) spawnUpdate(ctx *cool.Ctx, dst, src int) {
 // Run factors the workload on procs processors under the given variant
 // and verifies the factor against the serial reference.
 func Run(procs int, v Variant, prm Params) (Result, error) {
-	cfg := cool.Config{Processors: procs}
+	return RunWith(cool.Config{Processors: procs}, v, prm)
+}
+
+// RunWith factors the workload under an explicit base configuration
+// (fault plans, retry policy, deadline); the variant's scheduling knobs
+// are applied on top.
+func RunWith(cfg cool.Config, v Variant, prm Params) (Result, error) {
 	switch v {
 	case Base, Distr:
 		cfg.Sched.IgnoreHints = true
 	case DistrAffCluster:
 		cfg.Sched.ClusterStealingOnly = true
 	}
-	rt, err := cool.NewRuntime(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	ap, a := build(rt, prm, v != Base)
-
-	err = rt.Run(func(ctx *cool.Ctx) {
-		ctx.WaitFor(func() {
-			for _, p := range ap.ps.Panels {
-				if ap.remaining[p.ID] == 0 {
-					ap.spawnComplete(ctx, p.ID)
-				}
-			}
-		})
-	})
-	if err != nil {
-		return Result{}, fmt.Errorf("pancho %v: %w", v, err)
-	}
-	return ap.finish(a, rt)
+	return RunConfig(cfg, v != Base, prm)
 }
 
 // RunCustom factors the workload under an explicit scheduling policy

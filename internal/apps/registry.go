@@ -30,6 +30,11 @@ type App struct {
 	// app's default workload (the meaning of size is app-specific: grid
 	// dimension, wires per region, bodies, matrix dimension).
 	Run func(procs int, variant string, size int) (Result, error)
+	// RunCfg executes the app with the named variant under an explicit
+	// base runtime configuration — the chaos driver injects fault plans,
+	// retry policies, and deadlines here. cfg.Processors selects the
+	// machine size; the variant's scheduling knobs are applied on top.
+	RunCfg func(cfg cool.Config, variant string, size int) (Result, error)
 	// RunSerial executes the single-task serial reference.
 	RunSerial func(size int) (Result, error)
 }
@@ -77,21 +82,25 @@ func panchoApp() App {
 		}
 		return p
 	}
+	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
+		i, err := variantIndex("pancho", names, variant)
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := pancho.RunWith(cfg, pancho.Variants[i], prm(size))
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{r.Cycles, r.Report,
+			fmt.Sprintf("residual=%.2e maxdiff=%.2e panels=%d", r.Residual, r.MaxDiff, r.Panels)}, nil
+	}
 	return App{
 		Name:     "pancho",
 		Variants: names,
 		Run: func(procs int, variant string, size int) (Result, error) {
-			i, err := variantIndex("pancho", names, variant)
-			if err != nil {
-				return Result{}, err
-			}
-			r, err := pancho.Run(procs, pancho.Variants[i], prm(size))
-			if err != nil {
-				return Result{}, err
-			}
-			return Result{r.Cycles, r.Report,
-				fmt.Sprintf("residual=%.2e maxdiff=%.2e panels=%d", r.Residual, r.MaxDiff, r.Panels)}, nil
+			return runCfg(cool.Config{Processors: procs}, variant, size)
 		},
+		RunCfg: runCfg,
 		RunSerial: func(size int) (Result, error) {
 			r, err := pancho.RunSerial(prm(size))
 			if err != nil {
@@ -114,20 +123,24 @@ func oceanApp() App {
 		}
 		return p
 	}
+	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
+		i, err := variantIndex("ocean", names, variant)
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := ocean.RunWith(cfg, ocean.Variants[i], prm(size))
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+	}
 	return App{
 		Name:     "ocean",
 		Variants: names,
 		Run: func(procs int, variant string, size int) (Result, error) {
-			i, err := variantIndex("ocean", names, variant)
-			if err != nil {
-				return Result{}, err
-			}
-			r, err := ocean.Run(procs, ocean.Variants[i], prm(size))
-			if err != nil {
-				return Result{}, err
-			}
-			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+			return runCfg(cool.Config{Processors: procs}, variant, size)
 		},
+		RunCfg: runCfg,
 		RunSerial: func(size int) (Result, error) {
 			r, err := ocean.RunSerial(prm(size))
 			if err != nil {
@@ -150,21 +163,25 @@ func locusApp() App {
 		}
 		return p
 	}
+	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
+		i, err := variantIndex("locusroute", names, variant)
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := locusroute.RunWith(cfg, locusroute.Variants[i], prm(size))
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{r.Cycles, r.Report,
+			fmt.Sprintf("consistent=%v cost=%d wires=%d", r.Consistent, r.TotalCost, r.Wires)}, nil
+	}
 	return App{
 		Name:     "locusroute",
 		Variants: names,
 		Run: func(procs int, variant string, size int) (Result, error) {
-			i, err := variantIndex("locusroute", names, variant)
-			if err != nil {
-				return Result{}, err
-			}
-			r, err := locusroute.Run(procs, locusroute.Variants[i], prm(size))
-			if err != nil {
-				return Result{}, err
-			}
-			return Result{r.Cycles, r.Report,
-				fmt.Sprintf("consistent=%v cost=%d wires=%d", r.Consistent, r.TotalCost, r.Wires)}, nil
+			return runCfg(cool.Config{Processors: procs}, variant, size)
 		},
+		RunCfg: runCfg,
 		RunSerial: func(size int) (Result, error) {
 			r, err := locusroute.RunSerial(prm(size))
 			if err != nil {
@@ -188,21 +205,25 @@ func blockchoApp() App {
 		}
 		return p
 	}
+	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
+		i, err := variantIndex("blockcho", names, variant)
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := blockcho.RunWith(cfg, blockcho.Variants[i], prm(size))
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{r.Cycles, r.Report,
+			fmt.Sprintf("maxdiff=%.2e blocks=%d", r.MaxDiff, r.Blocks)}, nil
+	}
 	return App{
 		Name:     "blockcho",
 		Variants: names,
 		Run: func(procs int, variant string, size int) (Result, error) {
-			i, err := variantIndex("blockcho", names, variant)
-			if err != nil {
-				return Result{}, err
-			}
-			r, err := blockcho.Run(procs, blockcho.Variants[i], prm(size))
-			if err != nil {
-				return Result{}, err
-			}
-			return Result{r.Cycles, r.Report,
-				fmt.Sprintf("maxdiff=%.2e blocks=%d", r.MaxDiff, r.Blocks)}, nil
+			return runCfg(cool.Config{Processors: procs}, variant, size)
 		},
+		RunCfg: runCfg,
 		RunSerial: func(size int) (Result, error) {
 			r, err := blockcho.RunSerial(prm(size))
 			if err != nil {
@@ -225,20 +246,24 @@ func barneshutApp() App {
 		}
 		return p
 	}
+	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
+		i, err := variantIndex("barneshut", names, variant)
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := barneshut.RunWith(cfg, barneshut.Variants[i], prm(size))
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+	}
 	return App{
 		Name:     "barneshut",
 		Variants: names,
 		Run: func(procs int, variant string, size int) (Result, error) {
-			i, err := variantIndex("barneshut", names, variant)
-			if err != nil {
-				return Result{}, err
-			}
-			r, err := barneshut.Run(procs, barneshut.Variants[i], prm(size))
-			if err != nil {
-				return Result{}, err
-			}
-			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+			return runCfg(cool.Config{Processors: procs}, variant, size)
 		},
+		RunCfg: runCfg,
 		RunSerial: func(size int) (Result, error) {
 			r, err := barneshut.RunSerial(prm(size))
 			if err != nil {
@@ -261,20 +286,24 @@ func gaussApp() App {
 		}
 		return p
 	}
+	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
+		i, err := variantIndex("gauss", names, variant)
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := gauss.RunWith(cfg, gauss.Variants[i], prm(size))
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+	}
 	return App{
 		Name:     "gauss",
 		Variants: names,
 		Run: func(procs int, variant string, size int) (Result, error) {
-			i, err := variantIndex("gauss", names, variant)
-			if err != nil {
-				return Result{}, err
-			}
-			r, err := gauss.Run(procs, gauss.Variants[i], prm(size))
-			if err != nil {
-				return Result{}, err
-			}
-			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+			return runCfg(cool.Config{Processors: procs}, variant, size)
 		},
+		RunCfg: runCfg,
 		RunSerial: func(size int) (Result, error) {
 			r, err := gauss.RunSerial(prm(size))
 			if err != nil {

@@ -1,0 +1,231 @@
+// Package chaos implements the self-checking chaos-campaign harness:
+// seeded random fault plans (processor slowdowns, stalls, permanent
+// failures, memory degradation, flaky windows, transient task failures)
+// run against the registered applications, differentially checked
+// against a fault-free reference run. Failing campaigns auto-shrink to
+// a minimal reproducing fault plan, printed as copy-pasteable builder
+// calls.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	cool "github.com/coolrts/cool"
+	"github.com/coolrts/cool/internal/apps"
+)
+
+// taskNames lists each app's spawn labels — the targets for transient
+// FailTask events in generated plans.
+var taskNames = map[string][]string{
+	"pancho":     {"update", "complete"},
+	"ocean":      {"laplace", "accumulate"},
+	"locusroute": {"route"},
+	"blockcho":   {"potrf", "trsm", "gemm", "notify"},
+	"barneshut":  {"forces", "advance"},
+	"gauss":      {"update"},
+}
+
+// ignoreTokens lists, per app, Verify tokens whose values legitimately
+// depend on scheduling order and so may differ once faults perturb the
+// schedule. Every other token must match the fault-free run exactly.
+var ignoreTokens = map[string]map[string]bool{
+	// The router's total cost depends on the order wires are routed,
+	// which fault-induced rebalancing perturbs; the consistency flag
+	// (routing table vs occupancy) still must match.
+	"locusroute": {"cost": true},
+	// Cholesky residual/maxdiff shift at rounding level (~1e-15) when a
+	// perturbed schedule changes FP accumulation order; both apps gate
+	// real corruption internally against the serial reference at 1e-9.
+	"pancho":   {"residual": true, "maxdiff": true},
+	"blockcho": {"maxdiff": true},
+}
+
+// Campaign is one seeded chaos experiment against one application. The
+// plan is a pure function of the seed, so campaigns replay exactly.
+type Campaign struct {
+	App      string
+	Variant  string
+	Procs    int
+	Size     int
+	Seed     int64
+	Plan     *cool.FaultPlan
+	Retry    *cool.RetryPolicy
+	Deadline int64
+}
+
+// NewCampaign derives a deterministic campaign from a seed against the
+// app's most affinity-aware variant. size 0 selects the app's default
+// workload.
+func NewCampaign(app apps.App, seed int64, procs, size int) Campaign {
+	c := Campaign{
+		App:     app.Name,
+		Variant: app.Variants[len(app.Variants)-1],
+		Procs:   procs,
+		Size:    size,
+		Seed:    seed,
+	}
+	clusters := (procs + 3) / 4
+	n := 2 + int(seed%5)
+	c.Plan = cool.RandomChaosPlan(seed, procs, clusters, n, taskNames[app.Name])
+	// Generous budget: a flaky processor sits idle (its launches abort)
+	// and keeps stealing retried work back, so the exponential backoff
+	// must be able to outlast the longest flaky window.
+	c.Retry = &cool.RetryPolicy{MaxAttempts: 12, Backoff: 500}
+	return c
+}
+
+// Verdict classifies a campaign outcome.
+type Verdict int
+
+const (
+	// OK: the run completed and its results match the fault-free run.
+	OK Verdict = iota
+	// Degraded: the run failed gracefully with an expected typed error
+	// (retry budget exhausted, deadline exceeded). Not a bug: the
+	// injected faults were severe enough that giving up was the policy.
+	Degraded
+	// Mismatch: the run completed but its numeric results differ from
+	// the fault-free run — a real correctness bug.
+	Mismatch
+	// Leak: the run completed but ran a different number of tasks than
+	// the fault-free run — work was lost or duplicated.
+	Leak
+	// Unexpected: the run failed with an error chaos should never cause
+	// (deadlock, watchdog, non-injected panic).
+	Unexpected
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case OK:
+		return "ok"
+	case Degraded:
+		return "degraded"
+	case Mismatch:
+		return "mismatch"
+	case Leak:
+		return "leak"
+	case Unexpected:
+		return "unexpected"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Bad reports whether the verdict indicates a runtime bug worth
+// shrinking and reporting (as opposed to a clean or gracefully degraded
+// run).
+func (v Verdict) Bad() bool { return v == Mismatch || v == Leak || v == Unexpected }
+
+// Outcome is the classified result of one campaign run.
+type Outcome struct {
+	Verdict Verdict
+	Detail  string // first mismatching token, or the error text
+}
+
+// ref is one cached fault-free reference run.
+type ref struct {
+	verify string
+	tasks  int64
+	err    error
+}
+
+// Oracle runs campaigns and differentially checks them against cached
+// fault-free reference runs (one per app/variant/procs/size).
+type Oracle struct {
+	refs map[string]ref
+}
+
+// NewOracle returns an oracle with an empty reference cache.
+func NewOracle() *Oracle { return &Oracle{refs: map[string]ref{}} }
+
+func (o *Oracle) healthy(app apps.App, c Campaign) (ref, error) {
+	key := fmt.Sprintf("%s/%s/p%d/s%d", c.App, c.Variant, c.Procs, c.Size)
+	if r, ok := o.refs[key]; ok {
+		return r, r.err
+	}
+	res, err := app.Run(c.Procs, c.Variant, c.Size)
+	r := ref{res.Verify, res.Report.Total.TasksRun, err}
+	o.refs[key] = r
+	return r, err
+}
+
+// Run executes one campaign and classifies the outcome against the
+// fault-free reference.
+func (o *Oracle) Run(app apps.App, c Campaign) Outcome {
+	refRun, err := o.healthy(app, c)
+	if err != nil {
+		return Outcome{Unexpected, fmt.Sprintf("fault-free reference failed: %v", err)}
+	}
+	cfg := cool.Config{
+		Processors: c.Procs,
+		Faults:     c.Plan,
+		Retry:      c.Retry,
+		Deadline:   c.Deadline,
+	}
+	res, err := app.RunCfg(cfg, c.Variant, c.Size)
+	if err != nil {
+		var ta *cool.TaskAbortError
+		var de *cool.DeadlineExceededError
+		if errors.As(err, &ta) || errors.As(err, &de) {
+			return Outcome{Degraded, err.Error()}
+		}
+		return Outcome{Unexpected, err.Error()}
+	}
+	if d := diffVerify(refRun.verify, res.Verify, ignoreTokens[c.App]); d != "" {
+		return Outcome{Mismatch, d}
+	}
+	if res.Report.Total.TasksRun != refRun.tasks {
+		return Outcome{Leak, fmt.Sprintf("tasks run: %d faulted vs %d fault-free",
+			res.Report.Total.TasksRun, refRun.tasks)}
+	}
+	return Outcome{OK, ""}
+}
+
+// diffVerify compares two key=value Verify strings token for token,
+// skipping ignored keys; it describes the first difference, or returns
+// "" when the results are differentially identical.
+func diffVerify(want, got string, ignore map[string]bool) string {
+	a, b := strings.Fields(want), strings.Fields(got)
+	if len(a) != len(b) {
+		return fmt.Sprintf("verify shape differs: %q vs %q", want, got)
+	}
+	for i := range a {
+		key, _, _ := strings.Cut(a[i], "=")
+		if ignore[key] {
+			continue
+		}
+		if a[i] != b[i] {
+			return fmt.Sprintf("%s: fault-free %q, faulted %q", key, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+// Shrink greedily minimizes a failing campaign: repeatedly drop any
+// single fault event whose removal keeps the campaign failing, until a
+// fixpoint. The result is 1-minimal — removing any remaining event
+// makes the failure disappear — and, like every campaign, replays
+// deterministically.
+func (o *Oracle) Shrink(app apps.App, c Campaign) (Campaign, Outcome) {
+	out := o.Run(app, c)
+	if !out.Verdict.Bad() {
+		return c, out
+	}
+	for {
+		shrunk := false
+		for i := 0; i < c.Plan.Len(); i++ {
+			cand := c
+			cand.Plan = c.Plan.WithoutEvent(i)
+			if co := o.Run(app, cand); co.Verdict.Bad() {
+				c, out = cand, co
+				shrunk = true
+				break // rescan the smaller plan from the start
+			}
+		}
+		if !shrunk {
+			return c, out
+		}
+	}
+}

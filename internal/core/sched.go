@@ -103,6 +103,10 @@ type Scheduler struct {
 
 	queuedTotal int // tasks queued machine-wide (sum of sv.queued)
 
+	// onAbort is the runtime's retry hook for transiently failed task
+	// launches (see retry.go). nil means any abort fails the run.
+	onAbort func(td *TaskDesc, failedOn int, now int64) bool
+
 	// Lazily-repaired least-loaded tracking: llBest is the lowest-id
 	// server with the fewest queued tasks unless llDirty, in which case
 	// the next leastLoaded query rescans. Dequeues repair the candidate
@@ -384,10 +388,16 @@ func (s *Scheduler) Dispatch(p *sim.Proc) *sim.Task {
 
 	if td := s.takeLocal(sv); td != nil {
 		p.Clock += lat.Dispatch
+		if s.launchAborted(td, p) {
+			return nil
+		}
 		return s.issue(td, p)
 	}
 	if td := s.steal(p, sv); td != nil {
 		p.Clock += lat.Dispatch
+		if s.launchAborted(td, p) {
+			return nil
+		}
 		return s.issue(td, p)
 	}
 	return nil

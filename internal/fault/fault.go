@@ -10,6 +10,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -33,6 +34,16 @@ const (
 	// TaskPanic makes the Nth task spawned with name Task panic when it
 	// first runs, exercising the structured failure path.
 	TaskPanic
+	// TaskFail makes one launch attempt of the Nth task spawned with
+	// name Task abort with a transient error before the task body runs.
+	// Repeating the event fails successive launch attempts of the same
+	// spawn, so a plan can outlast (or exhaust) a retry budget.
+	TaskFail
+	// Flaky opens a window [At, At+Cycles) on a processor during which
+	// every task launch attempted there aborts transiently. Launches are
+	// retried elsewhere under a retry policy; without one the first
+	// aborted launch fails the run.
+	Flaky
 )
 
 // String names the kind.
@@ -48,6 +59,10 @@ func (k Kind) String() string {
 		return "memdegrade"
 	case TaskPanic:
 		return "taskpanic"
+	case TaskFail:
+		return "taskfail"
+	case Flaky:
+		return "flaky"
 	}
 	return "?"
 }
@@ -80,6 +95,10 @@ func (ev Event) String() string {
 		return fmt.Sprintf("memdegrade C%d x%d @%d", ev.Cluster, ev.Factor, ev.At)
 	case TaskPanic:
 		return fmt.Sprintf("panic task %q #%d", ev.Task, ev.Nth)
+	case TaskFail:
+		return fmt.Sprintf("transient-fail task %q #%d", ev.Task, ev.Nth)
+	case Flaky:
+		return fmt.Sprintf("flaky P%d @%d for %d", ev.Proc, ev.At, ev.Cycles)
 	}
 	return "?"
 }
@@ -122,11 +141,44 @@ func (p *Plan) PanicTask(name string, nth int) *Plan {
 	return p
 }
 
+// FailTask aborts one launch attempt of the nth task spawned with the
+// given name. Stack the event to fail several attempts of the same
+// spawn.
+func (p *Plan) FailTask(name string, nth int) *Plan {
+	p.Events = append(p.Events, Event{Kind: TaskFail, Task: name, Nth: nth})
+	return p
+}
+
+// Flaky opens a window of cycles length at time at during which every
+// task launch on proc aborts transiently.
+func (p *Plan) Flaky(proc int, at, cycles int64) *Plan {
+	p.Events = append(p.Events, Event{Kind: Flaky, Proc: proc, At: at, Cycles: cycles})
+	return p
+}
+
+// window is a half-open interval of simulated time, [from, to).
+// to == MaxInt64 models an open-ended (permanent) window.
+type window struct{ from, to int64 }
+
+func (w window) overlaps(o window) bool { return w.from < o.to && o.from < w.to }
+
+func windowOf(at, cycles int64) window {
+	if cycles <= 0 {
+		return window{at, math.MaxInt64}
+	}
+	return window{at, at + cycles}
+}
+
 // Validate checks the plan against a machine with procs processors and
-// clusters memory modules. At least one processor must survive all Fail
-// events, so the program can always make progress.
+// clusters memory modules. Beyond per-event field checks it enforces
+// whole-plan consistency: at least one processor must survive all Fail
+// events (so the program can always make progress), no processor may be
+// failed twice, and the Slowdown (resp. Flaky) windows on one processor
+// must not overlap — an overlapping window would silently overwrite the
+// earlier event's effect, making the plan ambiguous.
 func (p *Plan) Validate(procs, clusters int) error {
 	failed := make(map[int]bool)
+	var slowWins, flakyWins map[int][]window
 	for i, ev := range p.Events {
 		if ev.At < 0 {
 			return fmt.Errorf("fault: event %d (%s): negative time %d", i, ev.Kind, ev.At)
@@ -142,6 +194,16 @@ func (p *Plan) Validate(procs, clusters int) error {
 			if ev.Cycles < 0 {
 				return fmt.Errorf("fault: event %d: negative slowdown duration %d", i, ev.Cycles)
 			}
+			w := windowOf(ev.At, ev.Cycles)
+			for _, o := range slowWins[ev.Proc] {
+				if w.overlaps(o) {
+					return fmt.Errorf("fault: event %d: slowdown window on P%d overlaps an earlier one", i, ev.Proc)
+				}
+			}
+			if slowWins == nil {
+				slowWins = make(map[int][]window)
+			}
+			slowWins[ev.Proc] = append(slowWins[ev.Proc], w)
 		case Stall:
 			if ev.Proc < 0 || ev.Proc >= procs {
 				return fmt.Errorf("fault: event %d: processor %d out of range [0,%d)", i, ev.Proc, procs)
@@ -153,6 +215,9 @@ func (p *Plan) Validate(procs, clusters int) error {
 			if ev.Proc < 0 || ev.Proc >= procs {
 				return fmt.Errorf("fault: event %d: processor %d out of range [0,%d)", i, ev.Proc, procs)
 			}
+			if failed[ev.Proc] {
+				return fmt.Errorf("fault: event %d: processor %d failed twice", i, ev.Proc)
+			}
 			failed[ev.Proc] = true
 		case MemDegrade:
 			if ev.Cluster < 0 || ev.Cluster >= clusters {
@@ -161,13 +226,30 @@ func (p *Plan) Validate(procs, clusters int) error {
 			if ev.Factor < 2 {
 				return fmt.Errorf("fault: event %d: degrade factor %d must be >= 2", i, ev.Factor)
 			}
-		case TaskPanic:
+		case TaskPanic, TaskFail:
 			if ev.Task == "" {
 				return fmt.Errorf("fault: event %d: empty task name", i)
 			}
 			if ev.Nth < 0 {
 				return fmt.Errorf("fault: event %d: negative task index %d", i, ev.Nth)
 			}
+		case Flaky:
+			if ev.Proc < 0 || ev.Proc >= procs {
+				return fmt.Errorf("fault: event %d: processor %d out of range [0,%d)", i, ev.Proc, procs)
+			}
+			if ev.Cycles <= 0 {
+				return fmt.Errorf("fault: event %d: flaky window length %d must be positive", i, ev.Cycles)
+			}
+			w := windowOf(ev.At, ev.Cycles)
+			for _, o := range flakyWins[ev.Proc] {
+				if w.overlaps(o) {
+					return fmt.Errorf("fault: event %d: flaky window on P%d overlaps an earlier one", i, ev.Proc)
+				}
+			}
+			if flakyWins == nil {
+				flakyWins = make(map[int][]window)
+			}
+			flakyWins[ev.Proc] = append(flakyWins[ev.Proc], w)
 		default:
 			return fmt.Errorf("fault: event %d: unknown kind %d", i, ev.Kind)
 		}
@@ -178,34 +260,125 @@ func (p *Plan) Validate(procs, clusters int) error {
 	return nil
 }
 
+// gen tracks the per-processor state a random generator needs to emit
+// only Validate-clean plans: which processors already fail, and the
+// slowdown/flaky windows already placed on each.
+type gen struct {
+	rng    *rand.Rand
+	p      *Plan
+	failed map[int]bool
+	slow   map[int][]window
+	flaky  map[int][]window
+}
+
+func newGen(seed int64) *gen {
+	return &gen{
+		rng:    rand.New(rand.NewSource(seed)),
+		p:      &Plan{},
+		failed: make(map[int]bool),
+		slow:   make(map[int][]window),
+		flaky:  make(map[int][]window),
+	}
+}
+
+// tryWindow records w for proc in wins unless it overlaps an existing
+// window there.
+func tryWindow(wins map[int][]window, proc int, w window) bool {
+	for _, o := range wins[proc] {
+		if w.overlaps(o) {
+			return false
+		}
+	}
+	wins[proc] = append(wins[proc], w)
+	return true
+}
+
+// slowOrStall emits a bounded slowdown, degrading to a stall when the
+// window would overlap an earlier slowdown on the same processor.
+func (g *gen) slowOrStall(proc int, at int64) {
+	dur := int64(1 + g.rng.Intn(500_000))
+	factor := int64(2 + g.rng.Intn(7))
+	if tryWindow(g.slow, proc, windowOf(at, dur)) {
+		g.p.Slow(proc, at, factor, dur)
+	} else {
+		g.p.Stall(proc, at, dur/2+1)
+	}
+}
+
 // Random builds a reproducible plan of n non-panic fault events
 // (slowdowns, stalls, memory degradation, and at most procs-1 permanent
 // failures) for stress testing. The same seed always yields the same
-// plan.
+// plan, and every generated plan passes Validate.
 func Random(seed int64, procs, clusters, n int) *Plan {
-	rng := rand.New(rand.NewSource(seed))
-	p := &Plan{}
-	fails := 0
+	g := newGen(seed)
 	for i := 0; i < n; i++ {
-		at := int64(rng.Intn(2_000_000))
-		proc := rng.Intn(procs)
-		switch rng.Intn(4) {
+		at := int64(g.rng.Intn(2_000_000))
+		proc := g.rng.Intn(procs)
+		switch g.rng.Intn(4) {
 		case 0:
-			p.Slow(proc, at, int64(2+rng.Intn(7)), int64(rng.Intn(500_000)))
+			g.slowOrStall(proc, at)
 		case 1:
-			p.Stall(proc, at, int64(1+rng.Intn(200_000)))
+			g.p.Stall(proc, at, int64(1+g.rng.Intn(200_000)))
 		case 2:
 			if clusters > 0 {
-				p.DegradeMemory(rng.Intn(clusters), at, int64(2+rng.Intn(4)))
+				g.p.DegradeMemory(g.rng.Intn(clusters), at, int64(2+g.rng.Intn(4)))
 			}
 		case 3:
-			if fails < procs-1 {
-				fails++
-				p.Fail(proc, at)
+			if len(g.failed) < procs-1 && !g.failed[proc] {
+				g.failed[proc] = true
+				g.p.Fail(proc, at)
 			} else {
-				p.Stall(proc, at, int64(1+rng.Intn(100_000)))
+				g.p.Stall(proc, at, int64(1+g.rng.Intn(100_000)))
 			}
 		}
 	}
-	return p
+	return g.p
+}
+
+// RandomChaos builds a reproducible chaos plan of n events drawn from
+// the full non-panic fault space: slowdowns, stalls, memory degradation,
+// a bounded number of permanent failures, and transient-failure flaky
+// windows. Flaky windows are kept short (≤ 100k cycles) so a modest
+// retry budget can ride them out, and permanent failures are capped at
+// half the machine so capacity survives. tasks, when non-empty, supplies
+// names for targeted transient task failures. Every generated plan
+// passes Validate.
+func RandomChaos(seed int64, procs, clusters, n int, tasks []string) *Plan {
+	g := newGen(seed)
+	maxFails := procs / 2
+	for i := 0; i < n; i++ {
+		at := int64(g.rng.Intn(2_000_000))
+		proc := g.rng.Intn(procs)
+		switch g.rng.Intn(6) {
+		case 0:
+			g.slowOrStall(proc, at)
+		case 1:
+			g.p.Stall(proc, at, int64(1+g.rng.Intn(200_000)))
+		case 2:
+			if clusters > 0 {
+				g.p.DegradeMemory(g.rng.Intn(clusters), at, int64(2+g.rng.Intn(4)))
+			}
+		case 3:
+			if len(g.failed) < maxFails && !g.failed[proc] {
+				g.failed[proc] = true
+				g.p.Fail(proc, at)
+			} else {
+				g.p.Stall(proc, at, int64(1+g.rng.Intn(100_000)))
+			}
+		case 4:
+			dur := int64(1 + g.rng.Intn(100_000))
+			if tryWindow(g.flaky, proc, windowOf(at, dur)) {
+				g.p.Flaky(proc, at, dur)
+			} else {
+				g.p.Stall(proc, at, dur)
+			}
+		case 5:
+			if len(tasks) > 0 {
+				g.p.FailTask(tasks[g.rng.Intn(len(tasks))], g.rng.Intn(8))
+			} else {
+				g.slowOrStall(proc, at)
+			}
+		}
+	}
+	return g.p
 }

@@ -20,6 +20,14 @@ func TestValidateCatchesBadEvents(t *testing.T) {
 		{"cluster out of range", (&Plan{}).DegradeMemory(2, 0, 4), "out of range"},
 		{"empty task name", (&Plan{}).PanicTask("", 0), "task name"},
 		{"all procs fail", (&Plan{}).Fail(0, 0).Fail(1, 0), "must survive"},
+		{"duplicate fail", (&Plan{}).Fail(0, 0).Fail(0, 500), "failed twice"},
+		{"overlapping slowdowns", (&Plan{}).Slow(0, 100, 4, 1000).Slow(0, 600, 2, 1000), "overlaps"},
+		{"permanent slowdown overlap", (&Plan{}).Slow(0, 100, 4, 0).Slow(0, 9_999_999, 2, 10), "overlaps"},
+		{"empty taskfail name", (&Plan{}).FailTask("", 0), "task name"},
+		{"negative taskfail index", (&Plan{}).FailTask("w", -1), "task index"},
+		{"flaky proc out of range", (&Plan{}).Flaky(2, 0, 100), "out of range"},
+		{"zero flaky window", (&Plan{}).Flaky(0, 0, 0), "window length"},
+		{"overlapping flaky windows", (&Plan{}).Flaky(0, 100, 1000).Flaky(0, 500, 1000), "overlaps"},
 	}
 	for _, tc := range cases {
 		err := tc.plan.Validate(2, 2)
@@ -28,10 +36,63 @@ func TestValidateCatchesBadEvents(t *testing.T) {
 		}
 	}
 	ok := (&Plan{}).Slow(1, 100, 4, 0).Stall(0, 50, 1000).Fail(1, 200).
-		DegradeMemory(0, 0, 2).PanicTask("worker", 3)
+		DegradeMemory(0, 0, 2).PanicTask("worker", 3).
+		FailTask("worker", 0).FailTask("worker", 0). // stacking is legal
+		Flaky(0, 0, 500).Flaky(0, 500, 500)          // adjacent windows do not overlap
 	if err := ok.Validate(2, 2); err != nil {
 		t.Fatalf("valid plan rejected: %v", err)
 	}
+}
+
+// TestValidatePropertyNeverPanics throws random event soup — including
+// field values the builders never produce — at Validate and checks it
+// errors (or accepts) deterministically without panicking.
+func TestValidatePropertyNeverPanics(t *testing.T) {
+	rng := newGen(42).rng
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(8)
+		p := &Plan{}
+		for i := 0; i < n; i++ {
+			p.Events = append(p.Events, Event{
+				Kind:    Kind(rng.Intn(9)), // includes unknown kinds
+				At:      int64(rng.Intn(2001) - 1000),
+				Proc:    rng.Intn(13) - 4,
+				Cluster: rng.Intn(7) - 2,
+				Factor:  int64(rng.Intn(8) - 2),
+				Cycles:  int64(rng.Intn(2001) - 1000),
+				Task:    []string{"", "w", "worker"}[rng.Intn(3)],
+				Nth:     rng.Intn(5) - 2,
+			})
+		}
+		err1 := p.Validate(4, 1)
+		err2 := p.Validate(4, 1)
+		if (err1 == nil) != (err2 == nil) ||
+			(err1 != nil && err1.Error() != err2.Error()) {
+			t.Fatalf("trial %d: Validate not deterministic: %v vs %v", trial, err1, err2)
+		}
+	}
+}
+
+// FuzzPlanValidate drives Validate from raw fuzz bytes decoded into
+// events; any panic is a failure.
+func FuzzPlanValidate(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{2, 0, 0, 0, 2, 0, 0, 1}) // two fails on P0
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := &Plan{}
+		for i := 0; i+4 <= len(data); i += 4 {
+			p.Events = append(p.Events, Event{
+				Kind:   Kind(data[i] % 10),
+				At:     int64(int8(data[i+1])) * 100,
+				Proc:   int(int8(data[i+2])) % 8,
+				Factor: int64(data[i+3]%8) - 1,
+				Cycles: int64(int8(data[i+3])) * 10,
+				Task:   "w",
+				Nth:    int(int8(data[i+1])),
+			})
+		}
+		_ = p.Validate(4, 1) // must not panic
+	})
 }
 
 func TestRandomPlansAreDeterministicAndValid(t *testing.T) {
@@ -47,6 +108,33 @@ func TestRandomPlansAreDeterministicAndValid(t *testing.T) {
 	}
 	if reflect.DeepEqual(Random(1, 8, 2, 12), Random(2, 8, 2, 12)) {
 		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestRandomChaosPlansAreDeterministicAndValid(t *testing.T) {
+	names := []string{"worker", "panel"}
+	for seed := int64(1); seed <= 40; seed++ {
+		a := RandomChaos(seed, 8, 2, 16, names)
+		b := RandomChaos(seed, 8, 2, 16, names)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two RandomChaos calls disagree", seed)
+		}
+		if err := a.Validate(8, 2); err != nil {
+			t.Fatalf("seed %d: chaos plan invalid: %v", seed, err)
+		}
+		// Never more than half the machine retired.
+		fails := 0
+		for _, ev := range a.Events {
+			if ev.Kind == Fail {
+				fails++
+			}
+		}
+		if fails > 4 {
+			t.Fatalf("seed %d: chaos plan retires %d of 8 processors", seed, fails)
+		}
+	}
+	if reflect.DeepEqual(RandomChaos(1, 8, 2, 16, nil), RandomChaos(2, 8, 2, 16, nil)) {
+		t.Fatal("different seeds produced identical chaos plans")
 	}
 }
 

@@ -40,6 +40,8 @@ type Counters struct {
 	// Fault injection and degradation.
 	FaultEvents   int64 // injected fault events that struck this processor
 	Redistributed int64 // tasks drained off this (failed) server to survivors
+	Retries       int64 // task launches aborted here and retried elsewhere
+	GaveUp        int64 // launches whose retry budget ran out (fails the run)
 }
 
 // Misses returns the total cache misses serviced by any memory.
@@ -74,6 +76,8 @@ func (c *Counters) Add(o Counters) {
 	c.BroadcastWakes += o.BroadcastWakes
 	c.FaultEvents += o.FaultEvents
 	c.Redistributed += o.Redistributed
+	c.Retries += o.Retries
+	c.GaveUp += o.GaveUp
 }
 
 // Monitor holds one Counters per processor.

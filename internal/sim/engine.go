@@ -42,10 +42,11 @@ type Proc struct {
 	dispatchEpoch uint64
 
 	// Fault-injection state (see fault.go).
-	failed      bool  // retired by FailProc; never dispatches again
-	speedFactor int64 // >1 while degraded: every charge is multiplied
-	slowUntil   int64 // clock at which the slowdown lapses
-	stalled     int64 // cycles lost to injected stalls
+	failed      bool       // retired by FailProc; never dispatches again
+	speedFactor int64      // >1 while degraded: every charge is multiplied
+	slowUntil   int64      // clock at which the slowdown lapses
+	stalled     int64      // cycles lost to injected stalls
+	flaky       []flakyWin // windows during which task launches abort
 }
 
 // Engine drives the simulation.
@@ -69,10 +70,16 @@ type Engine struct {
 
 	// Fault-injection state (see fault.go).
 	limit    int64         // no-progress watchdog (0 = off)
+	deadline int64         // run deadline in simulated cycles (0 = off)
 	snapshot func() string // scheduler diagnostic for watchdog errors
 	onFail   func(p *Proc, running *Task, now int64)
 	panicAt  map[string]map[int]bool // task name -> creation indices to panic
+	abortAt  map[string]map[int]int  // task name -> creation index -> launch aborts left
 	spawnSeq map[string]int          // creation-order counter per task name
+	// transient gates the launch-abort check in the dispatch path; it is
+	// set only when an abort injection or flaky window is registered, so
+	// fault-free runs pay a single predictable branch.
+	transient bool
 }
 
 // New creates an engine with n processors.
@@ -341,6 +348,10 @@ func (e *Engine) Run() error {
 	e.started = true
 	for len(e.events) > 0 && e.failure == nil {
 		ev := heap.Pop(&e.events).(*event)
+		if e.deadline > 0 && ev.time > e.deadline && e.liveTasks > 0 {
+			e.failure = e.deadlineError(ev.time)
+			break
+		}
 		if e.limit > 0 && ev.time > e.limit && e.liveTasks > 0 {
 			e.failure = e.watchdogError()
 			break

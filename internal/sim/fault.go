@@ -66,6 +66,37 @@ func (e *WatchdogError) Error() string {
 	return s
 }
 
+// TaskAbort reports a transient launch failure that the run could not
+// absorb: either no retry policy was active, or the task's retry budget
+// was exhausted. Attempts counts the aborted launch attempts.
+type TaskAbort struct {
+	Task     string
+	Proc     int
+	Time     int64
+	Attempts int
+}
+
+func (a *TaskAbort) Error() string {
+	return fmt.Sprintf("sim: task %q launch aborted on P%d at cycle %d (%d attempt(s) failed, retry budget exhausted)",
+		a.Task, a.Proc, a.Time, a.Attempts)
+}
+
+// DeadlineError reports that simulated time passed the configured run
+// deadline with work still outstanding. Unlike the watchdog it is an
+// expected, policy-driven stop: the caller asked for a time budget.
+type DeadlineError struct {
+	Deadline int64
+	Time     int64
+	Live     int     // tasks not yet run to completion
+	Blocked  []*Task // tasks parked on synchronization, sorted by name
+	Clocks   []int64 // per-processor clocks at the stop
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sim: deadline %d exceeded at t=%d with %d live task(s), %d blocked",
+		e.Deadline, e.Time, e.Live, len(e.Blocked))
+}
+
 // InjectedPanic is the panic value used for plan-injected task panics.
 type InjectedPanic struct{ Task string }
 
@@ -85,6 +116,11 @@ func (e *Engine) SetCycleLimit(limit int64) { e.limit = limit }
 // SetSnapshot installs a diagnostic callback whose result is embedded in
 // the watchdog error (the scheduler reports its queue state here).
 func (e *Engine) SetSnapshot(fn func() string) { e.snapshot = fn }
+
+// SetDeadline bounds the run to d simulated cycles: once an event past
+// the deadline would fire with work outstanding, Run stops and returns a
+// *DeadlineError. 0 disables the deadline.
+func (e *Engine) SetDeadline(d int64) { e.deadline = d }
 
 // SetFailHandler installs the callback invoked when a processor is
 // retired by FailProc. running is the task that was executing there (nil
@@ -159,6 +195,8 @@ func (e *Engine) FailProc(p *Proc) {
 func (e *Engine) InjectTaskPanic(name string, nth int) {
 	if e.panicAt == nil {
 		e.panicAt = make(map[string]map[int]bool)
+	}
+	if e.spawnSeq == nil {
 		e.spawnSeq = make(map[string]int)
 	}
 	set := e.panicAt[name]
@@ -169,19 +207,90 @@ func (e *Engine) InjectTaskPanic(name string, nth int) {
 	set[nth] = true
 }
 
-// shouldInjectPanic consults the registered injections for a task being
-// created, consuming one creation-order slot for its name.
-func (e *Engine) shouldInjectPanic(name string) bool {
-	if e.panicAt == nil {
-		return false
+// InjectTaskAbort arranges for one launch attempt of the nth task
+// created with the given name to abort transiently before its body
+// runs. Calling it again for the same (name, nth) aborts a further
+// attempt of the same spawn.
+func (e *Engine) InjectTaskAbort(name string, nth int) {
+	if e.abortAt == nil {
+		e.abortAt = make(map[string]map[int]int)
 	}
-	set := e.panicAt[name]
+	if e.spawnSeq == nil {
+		e.spawnSeq = make(map[string]int)
+	}
+	set := e.abortAt[name]
 	if set == nil {
+		set = make(map[int]int)
+		e.abortAt[name] = set
+	}
+	set[nth]++
+	e.transient = true
+}
+
+// flakyWin is a half-open window [from, to) of a processor's clock
+// during which every task launch attempted there aborts transiently.
+type flakyWin struct{ from, to int64 }
+
+// AddFlakyWindow makes every task launch on proc abort transiently
+// while the processor's clock is in [from, to).
+func (e *Engine) AddFlakyWindow(proc int, from, to int64) {
+	p := e.Procs[proc]
+	p.flaky = append(p.flaky, flakyWin{from, to})
+	e.transient = true
+}
+
+// noteSpawn assigns a creation index to tasks whose name has a panic or
+// abort injection registered, and substitutes the panic body where one
+// is planted. Untracked names are skipped so fault-free spawns stay
+// allocation- and bookkeeping-free.
+func (e *Engine) noteSpawn(t *Task) {
+	if e.panicAt[t.Name] == nil && e.abortAt[t.Name] == nil {
+		return
+	}
+	idx := e.spawnSeq[t.Name]
+	e.spawnSeq[t.Name] = idx + 1
+	t.spawnIdx = idx
+	if e.panicAt[t.Name][idx] {
+		name := t.Name
+		t.fn = func(*Ctx) { panic(InjectedPanic{Task: name}) }
+	}
+}
+
+// LaunchShouldAbort reports whether this launch attempt of t on p is
+// struck by transient-fault injection, consuming one injected abort (or
+// matching a flaky window on p) and counting the attempt on the task.
+// Only fresh launches abort: a task whose coroutine has started — a
+// blocked or sliced continuation being resumed — is never aborted,
+// because a partially executed body cannot be re-run.
+func (e *Engine) LaunchShouldAbort(t *Task, p *Proc) bool {
+	if !e.transient || t.startedCoro {
 		return false
 	}
-	seq := e.spawnSeq[name]
-	e.spawnSeq[name] = seq + 1
-	return set[seq]
+	for _, w := range p.flaky {
+		if p.Clock >= w.from && p.Clock < w.to {
+			t.aborts++
+			return true
+		}
+	}
+	if set := e.abortAt[t.Name]; set != nil && set[t.spawnIdx] > 0 {
+		set[t.spawnIdx]--
+		t.aborts++
+		return true
+	}
+	return false
+}
+
+// Redispatch re-queues a dispatch for p at its current clock — used
+// after an aborted launch so the processor immediately looks for other
+// work instead of parking until the next wakeup.
+func (e *Engine) Redispatch(p *Proc) { e.queueDispatch(p, p.Clock) }
+
+// FailRun aborts the run with err (first failure wins). The scheduler
+// uses it to surface a retry-budget exhaustion as the run's error.
+func (e *Engine) FailRun(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
 }
 
 // watchdogError builds the diagnostic returned when the cycle limit is
@@ -201,6 +310,27 @@ func (e *Engine) watchdogError() *WatchdogError {
 		w.Snapshot = e.snapshot()
 	}
 	return w
+}
+
+// deadlineError builds the diagnostic returned when the run deadline is
+// exceeded, carrying the blocked-task set so the runtime above can
+// derive wait-for edges exactly as it does for deadlocks.
+func (e *Engine) deadlineError(at int64) *DeadlineError {
+	d := &DeadlineError{
+		Deadline: e.deadline,
+		Time:     at, // time of the first event past the deadline, not e.now (which lags it)
+		Live:     e.liveTasks,
+		Blocked:  make([]*Task, 0, len(e.blocked)),
+		Clocks:   make([]int64, len(e.Procs)),
+	}
+	for t := range e.blocked {
+		d.Blocked = append(d.Blocked, t)
+	}
+	sort.Slice(d.Blocked, func(i, j int) bool { return d.Blocked[i].Name < d.Blocked[j].Name })
+	for i, p := range e.Procs {
+		d.Clocks[i] = p.Clock
+	}
+	return d
 }
 
 // deadlockError builds the typed error for tasks blocked forever.

@@ -31,19 +31,28 @@ type Task struct {
 	startedCoro bool
 	killed      bool
 	done        bool
+
+	// Fault-injection state (see fault.go).
+	spawnIdx int // creation index among same-named tasks (tracked names only)
+	aborts   int // launch attempts aborted by transient-fault injection
 }
+
+// LaunchAborts returns how many launch attempts of this task were
+// aborted by transient-fault injection (the retry layer's attempt
+// counter).
+func (t *Task) LaunchAborts() int { return t.aborts }
 
 // NewTask creates a task that becomes runnable no earlier than readyAt.
 // The task does not run until a Dispatcher hands it to a processor.
 func (e *Engine) NewTask(name string, readyAt int64, fn func(*Ctx)) *Task {
-	if e.shouldInjectPanic(name) {
-		fn = func(*Ctx) { panic(InjectedPanic{Task: name}) }
-	}
 	t := &Task{
 		Name:     name,
 		fn:       fn,
 		resumeCh: make(chan struct{}),
 		statusCh: make(chan status),
+	}
+	if e.panicAt != nil || e.abortAt != nil {
+		e.noteSpawn(t)
 	}
 	t.ctx = &Ctx{eng: e, task: t, readyAt: readyAt}
 	e.liveTasks++

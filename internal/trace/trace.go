@@ -34,6 +34,10 @@ const (
 	// KindRedistribute: a task was moved off a failed server (Proc =
 	// failed server, Arg = surviving server that received it).
 	KindRedistribute
+	// KindRetry: a task's launch aborted transiently on Proc and will be
+	// retried (Arg = server chosen for the next attempt, -1 when the
+	// retry budget is exhausted and the run gives up).
+	KindRetry
 )
 
 // String names the kind.
@@ -55,6 +59,8 @@ func (k Kind) String() string {
 		return "fault"
 	case KindRedistribute:
 		return "redist"
+	case KindRetry:
+		return "retry"
 	}
 	return "?"
 }

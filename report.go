@@ -38,6 +38,8 @@ type Counters struct {
 
 	FaultEvents   int64 // injected fault events that struck this processor
 	Redistributed int64 // tasks drained off this (failed) server to survivors
+	Retries       int64 // task launches aborted here and retried elsewhere
+	GaveUp        int64 // launches whose retry budget ran out (fails the run)
 }
 
 // Misses returns the total cache misses.
@@ -125,6 +127,8 @@ func (rt *Runtime) Report() Report {
 			BroadcastWakes: p.BroadcastWakes,
 			FaultEvents:    p.FaultEvents,
 			Redistributed:  p.Redistributed,
+			Retries:        p.Retries,
+			GaveUp:         p.GaveUp,
 		}
 		r.Per[i] = c
 		addCounters(&r.Total, c)
@@ -162,6 +166,8 @@ func addCounters(dst *Counters, c Counters) {
 	dst.BroadcastWakes += c.BroadcastWakes
 	dst.FaultEvents += c.FaultEvents
 	dst.Redistributed += c.Redistributed
+	dst.Retries += c.Retries
+	dst.GaveUp += c.GaveUp
 }
 
 // String renders a compact human-readable summary.

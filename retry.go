@@ -1,0 +1,90 @@
+package cool
+
+import (
+	"fmt"
+
+	"github.com/coolrts/cool/internal/core"
+)
+
+// RetryPolicy governs recovery from transient task-launch failures
+// (FaultPlan.FailTask events and FlakyProcessor windows). When a launch
+// attempt aborts, the runtime re-places the task on a different server —
+// preferring a different cluster from the processor that failed, while
+// keeping task-affinity sets on their home so they never split — and
+// retries after an exponentially growing backoff in simulated cycles.
+// Without a policy (Config.Retry == nil) the first transient abort fails
+// the run with a *TaskAbortError.
+//
+// Retries are safe because transient aborts strike only at task launch,
+// before the body has executed a single operation: a retried task re-runs
+// a body that has had no side effects. For the same reason panics are
+// never retried — a panic (from application code or a PanicTask
+// injection) strikes mid-body, after side effects may have happened, so
+// it always surfaces as a *TaskPanicError without consuming retry
+// budget.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of launch attempts allowed per
+	// spawn, including the first (0 = default 4).
+	MaxAttempts int
+	// Backoff is the delay in simulated cycles before the second
+	// attempt; each further retry doubles it (0 = default 1000).
+	Backoff int64
+	// MaxBackoff caps the exponential backoff (0 = 64x Backoff).
+	MaxBackoff int64
+}
+
+// withDefaults validates the policy and fills in defaults.
+func (p RetryPolicy) withDefaults() (RetryPolicy, error) {
+	if p.MaxAttempts < 0 {
+		return p, fmt.Errorf("cool: Config.Retry.MaxAttempts must not be negative")
+	}
+	if p.Backoff < 0 {
+		return p, fmt.Errorf("cool: Config.Retry.Backoff must not be negative")
+	}
+	if p.MaxBackoff < 0 {
+		return p, fmt.Errorf("cool: Config.Retry.MaxBackoff must not be negative")
+	}
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.Backoff == 0 {
+		p.Backoff = 1000
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 64 * p.Backoff
+	}
+	return p, nil
+}
+
+// delay returns the backoff before the next attempt when attempts have
+// already failed (attempts >= 1).
+func (p RetryPolicy) delay(attempts int) int64 {
+	shift := attempts - 1
+	if shift > 30 {
+		shift = 30
+	}
+	d := p.Backoff << uint(shift)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// installRetry wires the policy into the scheduler's abort hook: count
+// the attempt, pick an affinity-aware target, and schedule the
+// re-enqueue once the backoff has elapsed. The target is revalidated at
+// enqueue time in case the world changed during the backoff.
+func (rt *Runtime) installRetry(p RetryPolicy) {
+	rt.sched.SetAbortHandler(func(td *core.TaskDesc, failedOn int, now int64) bool {
+		attempts := td.T.LaunchAborts()
+		if attempts >= p.MaxAttempts {
+			return false
+		}
+		tgt := rt.sched.RetryTarget(td, failedOn, attempts)
+		rt.sched.TraceRetry(now, failedOn, td.T.Name, tgt)
+		rt.eng.At(now+p.delay(attempts), func() {
+			rt.sched.EnqueueRetry(td, tgt, rt.eng.Now())
+		})
+		return true
+	})
+}

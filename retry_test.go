@@ -1,0 +1,237 @@
+package cool_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	cool "github.com/coolrts/cool"
+)
+
+// runWithConfig executes the same 32-task parallel sum as runFaulted but
+// under an arbitrary Config, so retry/deadline tests can add their knobs.
+func runWithConfig(t *testing.T, cfg cool.Config) (*cool.Runtime, []int, error) {
+	t.Helper()
+	rt, err := cool.NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 32
+	data := rt.NewF64Pages(tasks*512, 3)
+	for i := range data.Data {
+		data.Data[i] = 1
+	}
+	hits := make([]int, tasks)
+	runErr := rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			for i := 0; i < tasks; i++ {
+				i := i
+				part := data.Slice(i*512, (i+1)*512)
+				ctx.Spawn("worker", func(c *cool.Ctx) {
+					s := 0.0
+					for _, v := range c.ReadF64Range(part, 0, part.Len()) {
+						s += v
+					}
+					c.Compute(5000)
+					hits[i] += int(s) / part.Len() // 1 per completed run
+				}, cool.ObjectAffinity(part.Base))
+			}
+		})
+	})
+	return rt, hits, runErr
+}
+
+func TestTransientRetryCompletesRun(t *testing.T) {
+	// Two stacked aborts on one spawn plus a flaky window on P2: with a
+	// retry policy every task must still complete exactly once, with the
+	// aborted launches visible in the counters.
+	plan := cool.NewFaultPlan().
+		FailTask("worker", 4).
+		FailTask("worker", 4).
+		FlakyProcessor(2, 0, 20_000)
+	rt, hits, err := runWithConfig(t, cool.Config{
+		Processors: 8, Seed: 11, Faults: plan,
+		Retry: &cool.RetryPolicy{MaxAttempts: 8, Backoff: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllRanOnce(t, hits)
+	rep := rt.Report()
+	if rep.Total.Retries < 2 {
+		t.Fatalf("Retries = %d, want >= 2", rep.Total.Retries)
+	}
+	if rep.Total.GaveUp != 0 {
+		t.Fatalf("GaveUp = %d, want 0", rep.Total.GaveUp)
+	}
+}
+
+func TestRetryBudgetExhaustedTypedError(t *testing.T) {
+	// Five stacked aborts against a budget of three attempts: the run
+	// must fail with a typed error carrying the attempt count.
+	plan := cool.NewFaultPlan()
+	for i := 0; i < 5; i++ {
+		plan.FailTask("worker", 0)
+	}
+	rt, _, err := runWithConfig(t, cool.Config{
+		Processors: 8, Seed: 11, Faults: plan,
+		Retry: &cool.RetryPolicy{MaxAttempts: 3, Backoff: 200},
+	})
+	var ta *cool.TaskAbortError
+	if !errors.As(err, &ta) {
+		t.Fatalf("err = %v (%T), want *cool.TaskAbortError", err, err)
+	}
+	if ta.Task != "worker" || ta.Attempts != 3 {
+		t.Fatalf("TaskAbortError = %+v, want Task=worker Attempts=3", ta)
+	}
+	rep := rt.Report()
+	if rep.Total.GaveUp != 1 || rep.Total.Retries != 2 {
+		t.Fatalf("GaveUp = %d, Retries = %d, want 1 and 2", rep.Total.GaveUp, rep.Total.Retries)
+	}
+}
+
+func TestAbortWithoutPolicyFailsFast(t *testing.T) {
+	plan := cool.NewFaultPlan().FailTask("worker", 0)
+	_, _, err := runWithConfig(t, cool.Config{Processors: 8, Seed: 11, Faults: plan})
+	var ta *cool.TaskAbortError
+	if !errors.As(err, &ta) {
+		t.Fatalf("err = %v (%T), want *cool.TaskAbortError", err, err)
+	}
+	if ta.Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1 (no retry budget without a policy)", ta.Attempts)
+	}
+	if !strings.Contains(ta.Error(), "retry budget exhausted") {
+		t.Fatalf("unhelpful message: %s", ta.Error())
+	}
+}
+
+func TestPanicsAreNeverRetried(t *testing.T) {
+	// An injected panic under a generous retry policy must surface as a
+	// panic, not be retried: panics strike mid-body, after side effects.
+	plan := cool.NewFaultPlan().PanicTask("worker", 3)
+	rt, _, err := runWithConfig(t, cool.Config{
+		Processors: 8, Seed: 11, Faults: plan,
+		Retry: &cool.RetryPolicy{MaxAttempts: 10, Backoff: 100},
+	})
+	var tp *cool.TaskPanicError
+	if !errors.As(err, &tp) {
+		t.Fatalf("err = %v (%T), want *cool.TaskPanicError", err, err)
+	}
+	if !tp.Injected || tp.Task != "worker" {
+		t.Fatalf("TaskPanicError = %+v, want injected panic of worker", tp)
+	}
+	rep := rt.Report()
+	if rep.Total.Retries != 0 || rep.Total.GaveUp != 0 {
+		t.Fatalf("panic consumed retry budget: Retries=%d GaveUp=%d, want 0/0",
+			rep.Total.Retries, rep.Total.GaveUp)
+	}
+}
+
+func TestDeadlineExceededTypedError(t *testing.T) {
+	// A deadline far below the healthy runtime must stop the run with a
+	// progress snapshot: queue depths for every server and the blocked
+	// tasks' wait edges.
+	_, _, err := runWithConfig(t, cool.Config{Processors: 8, Seed: 11, Deadline: 3000})
+	var de *cool.DeadlineExceededError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v (%T), want *cool.DeadlineExceededError", err, err)
+	}
+	if de.Deadline != 3000 || de.Time <= de.Deadline {
+		t.Fatalf("DeadlineExceededError = %+v, want Time past Deadline 3000", de)
+	}
+	if len(de.QueueDepths) != 8 || len(de.Clocks) != 8 {
+		t.Fatalf("snapshot sizes = %d queues, %d clocks, want 8/8", len(de.QueueDepths), len(de.Clocks))
+	}
+	if de.LiveTasks == 0 {
+		t.Fatal("LiveTasks = 0, but the run was cut off mid-flight")
+	}
+	if !strings.Contains(err.Error(), "deadline 3000 exceeded") {
+		t.Fatalf("unhelpful message: %s", err.Error())
+	}
+}
+
+func TestUnreachedDeadlineIsBitIdentical(t *testing.T) {
+	// A generous deadline must not perturb the simulation at all.
+	rt1, hits, err := runWithConfig(t, cool.Config{Processors: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllRanOnce(t, hits)
+	rt2, hits2, err := runWithConfig(t, cool.Config{Processors: 8, Seed: 11, Deadline: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllRanOnce(t, hits2)
+	if rt1.ElapsedCycles() != rt2.ElapsedCycles() {
+		t.Fatalf("deadline changed cycles: %d vs %d", rt1.ElapsedCycles(), rt2.ElapsedCycles())
+	}
+}
+
+func TestRetriedRunsAreDeterministic(t *testing.T) {
+	run := func() (int64, cool.Report) {
+		plan := cool.NewFaultPlan().
+			FailTask("worker", 1).
+			FlakyProcessor(5, 1000, 30_000)
+		// A flaky processor stays idle (all its launches abort) and keeps
+		// stealing retried work back, so the budget must outlast the
+		// window: give the exponential backoff room to escape it.
+		rt, hits, err := runWithConfig(t, cool.Config{
+			Processors: 8, Seed: 11, Faults: plan,
+			Retry: &cool.RetryPolicy{MaxAttempts: 12, Backoff: 700},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAllRanOnce(t, hits)
+		return rt.ElapsedCycles(), rt.Report()
+	}
+	c1, r1 := run()
+	c2, r2 := run()
+	if c1 != c2 {
+		t.Fatalf("cycles differ across identical retried runs: %d vs %d", c1, c2)
+	}
+	if r1.String() != r2.String() || r1.Total != r2.Total {
+		t.Fatalf("reports differ across identical retried runs:\n%s\nvs\n%s", r1, r2)
+	}
+}
+
+func TestRetryAndDeadlineConfigValidation(t *testing.T) {
+	cases := []cool.Config{
+		{Processors: 4, Deadline: -1},
+		{Processors: 4, Retry: &cool.RetryPolicy{MaxAttempts: -1}},
+		{Processors: 4, Retry: &cool.RetryPolicy{Backoff: -5}},
+		{Processors: 4, Retry: &cool.RetryPolicy{MaxBackoff: -5}},
+	}
+	for i, cfg := range cases {
+		if _, err := cool.NewRuntime(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestChaosPlanSurface(t *testing.T) {
+	p := cool.RandomChaosPlan(42, 8, 2, 12, []string{"worker"})
+	if p.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", p.Len())
+	}
+	q := cool.RandomChaosPlan(42, 8, 2, 12, []string{"worker"})
+	if p.BuilderString() != q.BuilderString() {
+		t.Fatal("same seed produced different chaos plans")
+	}
+	s := p.BuilderString()
+	if !strings.HasPrefix(s, "cool.NewFaultPlan()") {
+		t.Fatalf("BuilderString does not start with the constructor: %q", s)
+	}
+	shrunk := p.WithoutEvent(0)
+	if shrunk.Len() != 11 || p.Len() != 12 {
+		t.Fatalf("WithoutEvent mutated the original or kept the event: %d/%d", shrunk.Len(), p.Len())
+	}
+	// A hand-built plan round-trips through BuilderString recognizably.
+	h := cool.NewFaultPlan().FailTask("w", 2).FlakyProcessor(1, 100, 200)
+	bs := h.BuilderString()
+	for _, want := range []string{`FailTask("w", 2)`, "FlakyProcessor(1, 100, 200)"} {
+		if !strings.Contains(bs, want) {
+			t.Fatalf("BuilderString %q missing %q", bs, want)
+		}
+	}
+}
