@@ -4,6 +4,8 @@ package cool
 // the paper: placed allocation (the COOL "new" operator with a processor
 // argument), migrate(), and home().
 
+import "sync/atomic"
+
 // F64 is an array of float64 living in simulated shared memory. Data
 // holds the real values; Base is the simulated address of element 0.
 type F64 struct {
@@ -58,6 +60,28 @@ func (rt *Runtime) procMod(proc int) int {
 	return p
 }
 
+// spaceAlloc, spaceAllocPages, and spaceMigrate wrap the address-space
+// operations in the runtime's space lock. The simulator never contends,
+// but native tasks allocate and look up homes concurrently, and the
+// space's page tables are not thread-safe.
+func (rt *Runtime) spaceAlloc(size int64, proc int) int64 {
+	rt.spaceMu.Lock()
+	defer rt.spaceMu.Unlock()
+	return rt.space.Alloc(size, proc)
+}
+
+func (rt *Runtime) spaceAllocPages(size int64, proc int) int64 {
+	rt.spaceMu.Lock()
+	defer rt.spaceMu.Unlock()
+	return rt.space.AllocPages(size, proc)
+}
+
+func (rt *Runtime) spaceMigrate(addr, size int64, proc int) int {
+	rt.spaceMu.Lock()
+	defer rt.spaceMu.Unlock()
+	return rt.space.Migrate(addr, size, proc)
+}
+
 // allocSize validates a requested allocation size. A non-positive size
 // records a sticky setup error — reported by Run instead of executing —
 // and substitutes a minimal valid size so the returned handle stays
@@ -74,34 +98,34 @@ func (rt *Runtime) allocSize(size int64, what string) int64 {
 // processor proc (modulo the number of processors), like COOL's
 // new(proc).
 func (rt *Runtime) NewF64(n int, proc int) *F64 {
-	return &F64{Base: rt.space.Alloc(rt.allocSize(int64(n)*8, "NewF64"), rt.procMod(proc)), Data: make([]float64, max(n, 0))}
+	return &F64{Base: rt.spaceAlloc(rt.allocSize(int64(n)*8, "NewF64"), rt.procMod(proc)), Data: make([]float64, max(n, 0))}
 }
 
 // NewF64Pages allocates a page-aligned array so parts of it can be
 // migrated independently.
 func (rt *Runtime) NewF64Pages(n int, proc int) *F64 {
-	return &F64{Base: rt.space.AllocPages(rt.allocSize(int64(n)*8, "NewF64Pages"), rt.procMod(proc)), Data: make([]float64, max(n, 0))}
+	return &F64{Base: rt.spaceAllocPages(rt.allocSize(int64(n)*8, "NewF64Pages"), rt.procMod(proc)), Data: make([]float64, max(n, 0))}
 }
 
 // NewI64 allocates an n-element int64 array homed at processor proc.
 func (rt *Runtime) NewI64(n int, proc int) *I64 {
-	return &I64{Base: rt.space.Alloc(rt.allocSize(int64(n)*8, "NewI64"), rt.procMod(proc)), Data: make([]int64, max(n, 0))}
+	return &I64{Base: rt.spaceAlloc(rt.allocSize(int64(n)*8, "NewI64"), rt.procMod(proc)), Data: make([]int64, max(n, 0))}
 }
 
 // NewI64Pages allocates a page-aligned int64 array (independently
 // migratable).
 func (rt *Runtime) NewI64Pages(n int, proc int) *I64 {
-	return &I64{Base: rt.space.AllocPages(rt.allocSize(int64(n)*8, "NewI64Pages"), rt.procMod(proc)), Data: make([]int64, max(n, 0))}
+	return &I64{Base: rt.spaceAllocPages(rt.allocSize(int64(n)*8, "NewI64Pages"), rt.procMod(proc)), Data: make([]int64, max(n, 0))}
 }
 
 // NewObj allocates a size-byte object homed at processor proc.
 func (rt *Runtime) NewObj(size int64, proc int) Obj {
-	return Obj{Base: rt.space.Alloc(rt.allocSize(size, "NewObj"), rt.procMod(proc)), Size: size}
+	return Obj{Base: rt.spaceAlloc(rt.allocSize(size, "NewObj"), rt.procMod(proc)), Size: size}
 }
 
 // NewObjPages allocates a page-aligned object (independently migratable).
 func (rt *Runtime) NewObjPages(size int64, proc int) Obj {
-	return Obj{Base: rt.space.AllocPages(rt.allocSize(size, "NewObjPages"), rt.procMod(proc)), Size: size}
+	return Obj{Base: rt.spaceAllocPages(rt.allocSize(size, "NewObjPages"), rt.procMod(proc)), Size: size}
 }
 
 // Migrate re-homes the pages spanned by [addr, addr+size) to processor
@@ -112,17 +136,17 @@ func (rt *Runtime) Migrate(addr, size int64, proc int) {
 		rt.setupError("cool: Migrate: size %d must be positive", size)
 		return
 	}
-	rt.space.Migrate(addr, size, rt.procMod(proc))
+	rt.spaceMigrate(addr, size, rt.procMod(proc))
 }
 
 // Home returns the server that the runtime treats as the home processor
 // of the object at addr (COOL's home()).
-func (rt *Runtime) Home(addr int64) int { return rt.sched.HomeServer(addr) }
+func (rt *Runtime) Home(addr int64) int { return rt.homeServer(addr) }
 
 // NewF64 allocates from the local memory of the requesting processor,
 // the COOL default for new.
 func (c *Ctx) NewF64(n int) *F64 {
-	return &F64{Base: c.rt.space.Alloc(int64(n)*8, c.ProcID()), Data: make([]float64, n)}
+	return &F64{Base: c.rt.spaceAlloc(int64(n)*8, c.ProcID()), Data: make([]float64, n)}
 }
 
 // NewF64On allocates homed at an explicit processor, like new(proc).
@@ -130,24 +154,27 @@ func (c *Ctx) NewF64On(n int, proc int) *F64 { return c.rt.NewF64(n, proc) }
 
 // NewI64 allocates from the local memory of the requesting processor.
 func (c *Ctx) NewI64(n int) *I64 {
-	return &I64{Base: c.rt.space.Alloc(int64(n)*8, c.ProcID()), Data: make([]int64, n)}
+	return &I64{Base: c.rt.spaceAlloc(int64(n)*8, c.ProcID()), Data: make([]int64, n)}
 }
 
 // NewObj allocates an object in the requesting processor's local memory.
 func (c *Ctx) NewObj(size int64) Obj {
-	return Obj{Base: c.rt.space.Alloc(size, c.ProcID()), Size: size}
+	return Obj{Base: c.rt.spaceAlloc(size, c.ProcID()), Size: size}
 }
 
 // Migrate moves the object at [addr, addr+size) to processor proc's
 // local memory, charging the page-migration cost (DASH migrates whole
 // pages; see the paper's footnote 2).
 func (c *Ctx) Migrate(addr, size int64, proc int) {
-	pages := c.rt.space.Migrate(addr, size, c.rt.procMod(proc))
+	pages := c.rt.spaceMigrate(addr, size, c.rt.procMod(proc))
+	if c.nc != nil {
+		return // re-homing still steers future placement; no cycle cost
+	}
 	c.sc.Charge(int64(pages) * c.rt.cfg.Lat.MigratePage)
 }
 
 // Home returns the home processor of the object at addr (COOL's home()).
-func (c *Ctx) Home(addr int64) int { return c.rt.sched.HomeServer(addr) }
+func (c *Ctx) Home(addr int64) int { return c.rt.homeServer(addr) }
 
 // ReadF64 reads element i of a through the simulated memory hierarchy.
 func (c *Ctx) ReadF64(a *F64, i int) float64 {
@@ -195,4 +222,27 @@ func (c *Ctx) WriteI64(a *I64, i int, v int64) {
 // Touch charges an access to bytes [off, off+size) of object o.
 func (c *Ctx) Touch(o Obj, off, size int64, write bool) {
 	c.Access(o.Base+off, size, write)
+}
+
+// LoadI64 reads element i of a without charging simulated time, using an
+// atomic load on the native backend. Use for shared counters that
+// concurrent tasks update through AddI64 (charge the reference
+// separately with Access where the model needs it); a plain ReadI64 of
+// such an element would be a data race under real parallelism.
+func (c *Ctx) LoadI64(a *I64, i int) int64 {
+	if c.nc != nil {
+		return atomic.LoadInt64(&a.Data[i])
+	}
+	return a.Data[i]
+}
+
+// AddI64 adds delta to element i of a without charging simulated time,
+// using an atomic add on the native backend. The simulator's cooperative
+// tasks never race, so there it is a plain read-modify-write.
+func (c *Ctx) AddI64(a *I64, i int, delta int64) {
+	if c.nc != nil {
+		atomic.AddInt64(&a.Data[i], delta)
+		return
+	}
+	a.Data[i] += delta
 }

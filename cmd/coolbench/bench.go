@@ -67,19 +67,25 @@ type benchDelta struct {
 	AllocsRatio float64 `json:"allocs_ratio"` // current/baseline
 }
 
-// benchEntry is one experiment's measurement.
+// benchEntry is one experiment's measurement. The native_* fields
+// measure the same workload on the goroutine execution backend (real
+// parallel wall-clock, not simulation cost); they are absent from
+// baselines recorded before the native backend existed and unmarshal
+// as zero, which the comparison code treats as "not measured".
 type benchEntry struct {
-	Name     string      `json:"name"` // app/variant/P<procs>
-	App      string      `json:"app"`
-	Variant  string      `json:"variant"`
-	Procs    int         `json:"procs"`
-	Size     int         `json:"size"` // 0 = app default workload
-	WallNS   int64       `json:"wall_ns"`
-	AllocsOp uint64      `json:"allocs_op"`
-	BytesOp  uint64      `json:"bytes_op"`
-	SimClock int64       `json:"sim_max_clock"`
-	Verify   string      `json:"verify"`
-	Baseline *benchDelta `json:"baseline,omitempty"`
+	Name           string      `json:"name"` // app/variant/P<procs>
+	App            string      `json:"app"`
+	Variant        string      `json:"variant"`
+	Procs          int         `json:"procs"`
+	Size           int         `json:"size"` // 0 = app default workload
+	WallNS         int64       `json:"wall_ns"`
+	AllocsOp       uint64      `json:"allocs_op"`
+	BytesOp        uint64      `json:"bytes_op"`
+	SimClock       int64       `json:"sim_max_clock"`
+	NativeWallNS   int64       `json:"native_wall_ns,omitempty"`
+	NativeAllocsOp uint64      `json:"native_allocs_op,omitempty"`
+	Verify         string      `json:"verify"`
+	Baseline       *benchDelta `json:"baseline,omitempty"`
 }
 
 // benchDoc is the JSON document written by -bench-json and read back by
@@ -91,6 +97,13 @@ type benchDoc struct {
 	Small     bool         `json:"small"`
 	Results   []benchEntry `json:"results"`
 }
+
+// nativeBench, when installed (from bench_native.go), measures the same
+// workload on the native goroutine backend. It is a hook variable so
+// this file keeps its only-apps-and-stdlib dependency contract: copied
+// alone into a tree predating the native backend, it still builds and
+// simply skips the native columns.
+var nativeBench func(app apps.App, variant string, procs, size int) (wallNS int64, allocs uint64, err error)
 
 // benchMain is the entry point for the -bench-* modes (dispatched from
 // main before the experiment flags are parsed). Returns the process exit
@@ -182,8 +195,24 @@ func benchRun(small bool, reps int) (*benchDoc, error) {
 			e.SimClock = res.Cycles
 			e.Verify = res.Verify
 		}
-		fmt.Printf("%-28s wall=%-12s allocs=%-10d simClock=%d\n",
-			e.Name, time.Duration(e.WallNS), e.AllocsOp, e.SimClock)
+		if nativeBench != nil {
+			for rep := 0; rep < reps; rep++ {
+				wall, allocs, err := nativeBench(app, variant, c.procs, size)
+				if err != nil {
+					return nil, fmt.Errorf("%s (native): %w", e.Name, err)
+				}
+				if rep == 0 || wall < e.NativeWallNS {
+					e.NativeWallNS = wall
+					e.NativeAllocsOp = allocs
+				}
+			}
+		}
+		native := ""
+		if e.NativeWallNS > 0 {
+			native = fmt.Sprintf("  nativeWall=%s", time.Duration(e.NativeWallNS))
+		}
+		fmt.Printf("%-28s wall=%-12s allocs=%-10d simClock=%d%s\n",
+			e.Name, time.Duration(e.WallNS), e.AllocsOp, e.SimClock, native)
 		doc.Results = append(doc.Results, e)
 	}
 	return doc, nil

@@ -1,0 +1,27 @@
+// bench_native.go installs the native-backend measurement into the
+// benchmark harness. It lives apart from bench.go so that file keeps
+// its only-apps-and-stdlib contract (it is copied verbatim into older
+// trees when recording baselines; those trees predate the native
+// backend and skip these columns).
+package main
+
+import (
+	"runtime"
+	"time"
+
+	cool "github.com/coolrts/cool"
+	"github.com/coolrts/cool/internal/apps"
+)
+
+func init() {
+	nativeBench = func(app apps.App, variant string, procs, size int) (int64, uint64, error) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		_, err := app.RunCfg(cool.Config{Processors: procs, Backend: cool.BackendNative}, variant, size)
+		wall := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&after)
+		return wall, after.Mallocs - before.Mallocs, err
+	}
+}

@@ -52,6 +52,14 @@ func main() {
 	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-chaos") {
 		os.Exit(chaosMain(os.Args[1:]))
 	}
+	// The backend differential harness (see xcheck.go).
+	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-xcheck") {
+		os.Exit(xcheckMain(os.Args[1:]))
+	}
+	// The Chrome trace exporter (see tracecmd.go).
+	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-trace") {
+		os.Exit(traceMain(os.Args[1:]))
+	}
 	exp := flag.String("exp", "all", "experiment id (see command doc)")
 	flag.Parse()
 

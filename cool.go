@@ -38,14 +38,43 @@ package cool
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/coolrts/cool/internal/cache"
 	"github.com/coolrts/cool/internal/core"
 	"github.com/coolrts/cool/internal/machine"
 	"github.com/coolrts/cool/internal/memsim"
+	"github.com/coolrts/cool/internal/native"
 	"github.com/coolrts/cool/internal/perfmon"
 	"github.com/coolrts/cool/internal/sim"
 )
+
+// Backend selects the execution engine a Runtime uses.
+type Backend int
+
+const (
+	// BackendSim executes on the deterministic discrete-event simulator:
+	// time is simulated DASH cycles, the memory hierarchy is modelled,
+	// and runs are bit-reproducible. The default.
+	BackendSim Backend = iota
+	// BackendNative executes on real goroutines, one worker per
+	// processor, with the same affinity-queue scheduler. Time is
+	// wall-clock nanoseconds; the memory system is the host's, so cache
+	// counters and cycle charges are not modelled. Options that require
+	// simulated time (faults, retries, deadlines, cycle limits, quantum,
+	// machine overrides) are rejected with *UnsupportedOnNativeError.
+	BackendNative
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendSim:
+		return "sim"
+	case BackendNative:
+		return "native"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
 
 // SchedPolicy exposes the scheduling knobs studied in the paper. The zero
 // value is the runtime's default policy (hints honoured, 64 task-affinity
@@ -115,19 +144,29 @@ type Config struct {
 	// *DeadlineExceededError carrying a progress snapshot (per-server
 	// queue depths, blocked tasks and what they wait on).
 	Deadline int64
+	// Backend selects the execution engine (default: the simulator).
+	Backend Backend
 }
 
 // Runtime is one simulated COOL program execution environment. Allocate
 // objects, then call Run exactly once.
 type Runtime struct {
-	cfg    machine.Config
-	eng    *sim.Engine
-	space  *memsim.Space
-	caches *cache.System
-	sched  *core.Scheduler
-	mon    *perfmon.Monitor
-	ran    bool
-	tdFree []*core.TaskDesc // recycled task descriptors (see ctx.go)
+	cfg     machine.Config
+	backend Backend
+	eng     *sim.Engine // sim backend only
+	space   *memsim.Space
+	caches  *cache.System   // sim backend only
+	sched   *core.Scheduler // sim backend only
+	nat     *native.Runtime // native backend only
+	mon     *perfmon.Monitor
+	ran     bool
+	tdFree  []*core.TaskDesc // recycled task descriptors (see ctx.go)
+
+	// spaceMu guards space on the native backend, where allocation,
+	// migration, and home lookups run concurrently. The simulator is
+	// single-threaded and never contends, but locking is cheap relative
+	// to allocation so it is taken unconditionally.
+	spaceMu sync.RWMutex
 
 	// setupErr records the first invalid pre-Run operation (e.g. a
 	// non-positive allocation size); Run reports it instead of running.
@@ -143,6 +182,13 @@ func (rt *Runtime) setupError(format string, args ...any) {
 
 // NewRuntime builds a runtime for the given configuration.
 func NewRuntime(c Config) (*Runtime, error) {
+	if c.Backend == BackendNative {
+		if err := nativeUnsupported(c); err != nil {
+			return nil, err
+		}
+	} else if c.Backend != BackendSim {
+		return nil, fmt.Errorf("cool: unknown backend %d", int(c.Backend))
+	}
 	var mc machine.Config
 	if c.Machine != nil {
 		mc = *c.Machine
@@ -194,6 +240,13 @@ func NewRuntime(c Config) (*Runtime, error) {
 	pol.DisableStealing = c.Sched.NoStealing
 	pol.PlaceSetsLeastLoaded = c.Sched.PlaceSetsLeastLoaded
 
+	if c.Backend == BackendNative {
+		rt, err := newNativeRuntime(c, mc, pol)
+		if err == nil && captureHook != nil {
+			captureHook(rt)
+		}
+		return rt, err
+	}
 	rt := &Runtime{cfg: mc}
 	rt.eng = sim.New(mc.Processors, mc.Quantum, mc.Seed)
 	rt.space = memsim.New(mc)
@@ -222,8 +275,79 @@ func NewRuntime(c Config) (*Runtime, error) {
 			return nil, err
 		}
 	}
+	if captureHook != nil {
+		captureHook(rt)
+	}
 	return rt, nil
 }
+
+// captureHook, when set, observes every Runtime NewRuntime constructs.
+// Tooling that drives applications through a uniform interface hiding
+// the Runtime (the apps registry) uses it to recover the runtime for
+// post-run inspection — see CaptureRuntime.
+var captureHook func(*Runtime)
+
+// CaptureRuntime registers f to observe every subsequently constructed
+// Runtime and returns a restore function reinstating the previous hook.
+// The hook is package-global and not synchronized: it is for
+// single-threaded drivers (the trace exporter), not for library use.
+func CaptureRuntime(f func(*Runtime)) (restore func()) {
+	prev := captureHook
+	captureHook = f
+	return func() { captureHook = prev }
+}
+
+// nativeUnsupported rejects configuration options whose semantics
+// require simulated time or the simulated memory system.
+func nativeUnsupported(c Config) error {
+	switch {
+	case c.Machine != nil:
+		return &UnsupportedOnNativeError{Option: "Machine"}
+	case c.Faults != nil:
+		return &UnsupportedOnNativeError{Option: "Faults"}
+	case c.Retry != nil:
+		return &UnsupportedOnNativeError{Option: "Retry"}
+	case c.CycleLimit > 0:
+		return &UnsupportedOnNativeError{Option: "CycleLimit"}
+	case c.Deadline > 0:
+		return &UnsupportedOnNativeError{Option: "Deadline"}
+	case c.Quantum > 0:
+		return &UnsupportedOnNativeError{Option: "Quantum"}
+	}
+	return nil
+}
+
+// newNativeRuntime builds a runtime executing on the goroutine backend.
+// The DASH machine description supplies only the address-space geometry
+// (page size, cluster topology) used for object homes and victim order;
+// latencies and caches are unused. Config.Seed is accepted and ignored —
+// native runs are inherently timing-dependent.
+func newNativeRuntime(c Config, mc machine.Config, pol core.Policy) (*Runtime, error) {
+	rt := &Runtime{cfg: mc, backend: BackendNative}
+	rt.space = memsim.New(mc)
+	rt.mon = perfmon.New(mc.Processors)
+	nat, err := native.New(native.Config{
+		Procs:       mc.Processors,
+		ClusterSize: mc.ClusterSize,
+		PageSize:    int64(mc.PageSize),
+		Pol:         pol,
+		Home: func(addr int64) int {
+			rt.spaceMu.RLock()
+			defer rt.spaceMu.RUnlock()
+			return rt.space.HomeProc(addr)
+		},
+		Mon:           rt.mon,
+		TraceCapacity: c.TraceCapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.nat = nat
+	return rt, nil
+}
+
+// Backend returns the execution engine this runtime uses.
+func (rt *Runtime) Backend() Backend { return rt.backend }
 
 // Processors returns the number of simulated processors.
 func (rt *Runtime) Processors() int { return rt.cfg.Processors }
@@ -255,6 +379,11 @@ func (rt *Runtime) Run(main func(*Ctx)) (err error) {
 			err = fmt.Errorf("cool: runtime panic: %v", r)
 		}
 	}()
+	if rt.backend == BackendNative {
+		return rt.wrapNativeError(rt.nat.Run(func(nc *native.Ctx) {
+			main(&Ctx{nc: nc, rt: rt})
+		}))
+	}
 	td := &core.TaskDesc{Class: core.ClassProcessor, Server: 0, Slot: -1}
 	t := rt.eng.NewTask("main", 0, func(sc *sim.Ctx) {
 		main(&Ctx{sc: sc, rt: rt})
@@ -266,6 +395,24 @@ func (rt *Runtime) Run(main func(*Ctx)) (err error) {
 	return rt.wrapRunError(rt.eng.Run())
 }
 
-// ElapsedCycles returns the simulated parallel execution time: the
-// largest processor clock after Run.
-func (rt *Runtime) ElapsedCycles() int64 { return rt.eng.MaxClock() }
+// ElapsedCycles returns the parallel execution time after Run: the
+// largest processor clock in simulated cycles on the simulator backend,
+// wall-clock nanoseconds on the native backend.
+func (rt *Runtime) ElapsedCycles() int64 {
+	if rt.backend == BackendNative {
+		return rt.nat.ElapsedNanos()
+	}
+	return rt.eng.MaxClock()
+}
+
+// SetSplits returns how often a task-affinity set was enqueued or stolen
+// away from its recorded home — an invariant violation under the default
+// whole-set-stealing policy, where it must stay zero. Splits are only
+// legitimate when set stealing is disabled (Sched.NoSetStealing) and the
+// scheduler falls back to taking individual set members.
+func (rt *Runtime) SetSplits() int64 {
+	if rt.backend == BackendNative {
+		return rt.nat.SetSplits()
+	}
+	return rt.sched.SetSplits()
+}

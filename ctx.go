@@ -2,23 +2,34 @@ package cool
 
 import (
 	"github.com/coolrts/cool/internal/core"
+	"github.com/coolrts/cool/internal/native"
 	"github.com/coolrts/cool/internal/sim"
 )
 
 // Ctx is the execution context of a running task. Every simulated action —
 // computing, touching memory, spawning, synchronizing — goes through it
-// and is charged simulated cycles on the current processor.
+// and is charged simulated cycles on the current processor. On the
+// native backend (nc non-nil) the same API drives the goroutine
+// scheduler instead: spawning, affinity placement, and monitors behave
+// identically, while the memory-system charges (Access, Prefetch) are
+// no-ops because the real machine's caches do the work.
 type Ctx struct {
-	sc    *sim.Ctx
+	sc    *sim.Ctx    // sim backend only
+	nc    *native.Ctx // native backend only
 	rt    *Runtime
-	scope *core.Scope // innermost active waitfor scope
+	scope *core.Scope // innermost active waitfor scope (sim backend)
 }
 
 // Runtime returns the runtime executing this task.
 func (c *Ctx) Runtime() *Runtime { return c.rt }
 
 // ProcID returns the processor currently executing the task.
-func (c *Ctx) ProcID() int { return c.sc.Proc().ID }
+func (c *Ctx) ProcID() int {
+	if c.nc != nil {
+		return c.nc.ProcID()
+	}
+	return c.sc.Proc().ID
+}
 
 // Cluster returns the cluster of the current processor.
 func (c *Ctx) Cluster() int { return c.rt.cfg.ClusterOf(c.ProcID()) }
@@ -26,18 +37,36 @@ func (c *Ctx) Cluster() int { return c.rt.cfg.ClusterOf(c.ProcID()) }
 // NumProcs returns the number of processors in the machine.
 func (c *Ctx) NumProcs() int { return c.rt.cfg.Processors }
 
-// Now returns the current simulated time on this processor, in cycles.
-func (c *Ctx) Now() int64 { return c.sc.Now() }
+// Now returns the current time on this processor: simulated cycles on
+// the simulator backend, wall-clock nanoseconds on the native backend.
+func (c *Ctx) Now() int64 {
+	if c.nc != nil {
+		return c.nc.Now()
+	}
+	return c.sc.Now()
+}
 
-// Compute charges cycles of pure computation (no memory traffic).
+// Compute charges cycles of pure computation (no memory traffic). On the
+// native backend the work-unit count still accumulates in the
+// ComputeCycles counter (so utilization figures stay meaningful) but no
+// time passes — the real computation is the time.
 func (c *Ctx) Compute(cycles int64) {
 	c.rt.mon.Per[c.ProcID()].ComputeCycles += cycles
+	if c.nc != nil {
+		return
+	}
 	c.sc.Charge(cycles)
 }
 
 // Access simulates a reference to [addr, addr+size) and charges the
-// latency of whichever level of the memory hierarchy services it.
+// latency of whichever level of the memory hierarchy services it. On the
+// native backend this is a no-op: the host memory system services the
+// program's real loads and stores, and the simulated cache counters stay
+// zero.
 func (c *Ctx) Access(addr, size int64, write bool) {
+	if c.nc != nil {
+		return
+	}
 	p := c.ProcID()
 	cyc := c.rt.caches.Access(p, c.sc.Now(), addr, size, write)
 	c.rt.mon.Per[p].MemCycles += cyc
@@ -137,6 +166,10 @@ func WithMutex(m *Monitor) SpawnOpt {
 // innermost enclosing WaitFor scope (transitively inherited by its own
 // spawns).
 func (c *Ctx) Spawn(name string, fn func(*Ctx), opts ...SpawnOpt) {
+	if c.nc != nil {
+		c.spawnNative(name, fn, opts)
+		return
+	}
 	c.sc.SyncPoint()
 	var o spawnOptions
 	for _, opt := range opts {
@@ -201,6 +234,39 @@ func (c *Ctx) Spawn(name string, fn func(*Ctx), opts ...SpawnOpt) {
 	rt.sched.Enqueue(td, c.sc.Now())
 }
 
+// spawnNative places and enqueues one task on the goroutine backend.
+// The affinity resolution (including the multiple-object §4.1 heuristic)
+// matches the simulator's; prefetching is a no-op natively, so the
+// non-chosen objects are simply dropped.
+func (c *Ctx) spawnNative(name string, fn func(*Ctx), opts []SpawnOpt) {
+	var o spawnOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	rt := c.rt
+	if len(o.objs) > 1 {
+		o.aff.ObjectObj = o.objs[pickHome(rt, o.objs)].addr
+	}
+	var nm *native.Monitor
+	if o.mutex != nil {
+		nm = &o.mutex.nm
+	}
+	c.nc.Spawn(name, o.aff, nm, func(nc *native.Ctx) {
+		fn(&Ctx{nc: nc, rt: rt})
+	})
+}
+
+// homeServer returns the server treated as the home processor of the
+// object at addr, on either backend.
+func (rt *Runtime) homeServer(addr int64) int {
+	if rt.backend == BackendNative {
+		rt.spaceMu.RLock()
+		defer rt.spaceMu.RUnlock()
+		return rt.space.HomeProc(addr)
+	}
+	return rt.sched.HomeServer(addr)
+}
+
 // newTaskDesc takes a zeroed descriptor off the runtime's free list, or
 // allocates one. Coroutines run one at a time under the engine loop, so
 // the free list needs no locking.
@@ -232,11 +298,11 @@ func pickHome(rt *Runtime, objs []sizedObj) int {
 		if w <= 0 {
 			w = 1
 		}
-		bytesAt[rt.sched.HomeServer(ob.addr)] += w
+		bytesAt[rt.homeServer(ob.addr)] += w
 	}
 	best, bestBytes := 0, int64(-1)
 	for i, ob := range objs {
-		sv := rt.sched.HomeServer(ob.addr)
+		sv := rt.homeServer(ob.addr)
 		if bytesAt[sv] > bestBytes {
 			best, bestBytes = i, bytesAt[sv]
 		}
@@ -248,6 +314,9 @@ func pickHome(rt *Runtime, objs []sizedObj) int {
 // lines stream into this processor's caches while only a small issue
 // cost is charged (the paper's §8 prefetching support).
 func (c *Ctx) Prefetch(addr, size int64) {
+	if c.nc != nil {
+		return // the host hardware prefetches for itself
+	}
 	p := c.ProcID()
 	cyc := c.rt.caches.Prefetch(p, c.sc.Now(), addr, size)
 	c.rt.mon.Per[p].MemCycles += cyc
@@ -259,6 +328,10 @@ func (c *Ctx) Prefetch(addr, size int64) {
 // descendant tasks outside any inner WaitFor — has completed. This is the
 // paper's waitfor construct.
 func (c *Ctx) WaitFor(body func()) {
+	if c.nc != nil {
+		c.nc.WaitFor(body)
+		return
+	}
 	scope := &core.Scope{}
 	old := c.scope
 	c.scope = scope
@@ -271,14 +344,20 @@ func (c *Ctx) WaitFor(body func()) {
 // the program runs — the dynamic runtime flag of the paper's Panel
 // Cholesky cluster-scheduling experiment (§6.3).
 func (c *Ctx) SetClusterStealingOnly(on bool) {
+	if c.nc != nil {
+		c.rt.nat.SetClusterStealingOnly(on)
+		return
+	}
 	c.rt.sched.SetClusterStealingOnly(on)
 }
 
 // Monitor serializes mutex functions on one object (COOL's monitor).
 // Create with Runtime.NewMonitor or use the zero value for an object
-// without a simulated address.
+// without a simulated address. On the native backend the monitor is a
+// real mutex.
 type Monitor struct {
-	m core.Monitor
+	m  core.Monitor
+	nm native.Monitor
 }
 
 // NewMonitor returns a monitor associated with the simulated object at
@@ -288,22 +367,55 @@ func (rt *Runtime) NewMonitor(addr int64) *Monitor {
 }
 
 // Lock acquires the monitor, blocking while another task holds it.
-func (c *Ctx) Lock(m *Monitor) { c.rt.sched.Lock(c.sc, &m.m) }
+func (c *Ctx) Lock(m *Monitor) {
+	if c.nc != nil {
+		c.nc.Lock(&m.nm)
+		return
+	}
+	c.rt.sched.Lock(c.sc, &m.m)
+}
 
 // Unlock releases the monitor.
-func (c *Ctx) Unlock(m *Monitor) { c.rt.sched.Unlock(c.sc, &m.m) }
+func (c *Ctx) Unlock(m *Monitor) {
+	if c.nc != nil {
+		c.nc.Unlock(&m.nm)
+		return
+	}
+	c.rt.sched.Unlock(c.sc, &m.m)
+}
 
 // Cond is a condition variable with Mesa semantics, used with a Monitor.
+// On the native backend a waiting task blocks its worker goroutine (the
+// simulator parks only the task); see DESIGN.md §9.
 type Cond struct {
-	c core.Cond
+	c   core.Cond
+	ncv native.Cond
 }
 
 // Wait atomically releases m and blocks until signalled, reacquiring m
 // before returning.
-func (c *Ctx) Wait(cv *Cond, m *Monitor) { c.rt.sched.Wait(c.sc, &cv.c, &m.m) }
+func (c *Ctx) Wait(cv *Cond, m *Monitor) {
+	if c.nc != nil {
+		c.nc.Wait(&cv.ncv, &m.nm)
+		return
+	}
+	c.rt.sched.Wait(c.sc, &cv.c, &m.m)
+}
 
 // Signal wakes the oldest waiter on cv, if any.
-func (c *Ctx) Signal(cv *Cond) { c.rt.sched.Signal(c.sc, &cv.c) }
+func (c *Ctx) Signal(cv *Cond) {
+	if c.nc != nil {
+		c.nc.Signal(&cv.ncv)
+		return
+	}
+	c.rt.sched.Signal(c.sc, &cv.c)
+}
 
 // Broadcast wakes every waiter on cv.
-func (c *Ctx) Broadcast(cv *Cond) { c.rt.sched.Broadcast(c.sc, &cv.c) }
+func (c *Ctx) Broadcast(cv *Cond) {
+	if c.nc != nil {
+		c.nc.Broadcast(&cv.ncv)
+		return
+	}
+	c.rt.sched.Broadcast(c.sc, &cv.c)
+}

@@ -5,8 +5,23 @@ import (
 	"strings"
 
 	"github.com/coolrts/cool/internal/core"
+	"github.com/coolrts/cool/internal/native"
 	"github.com/coolrts/cool/internal/sim"
 )
+
+// UnsupportedOnNativeError is returned by NewRuntime when a
+// configuration option that requires simulated time or the simulated
+// memory system (fault plans, retries, deadlines, cycle limits, quantum
+// slicing, machine overrides) is combined with BackendNative. Callers
+// that want to run the same Config on both backends should strip these
+// options for the native run rather than treat this as a failure.
+type UnsupportedOnNativeError struct {
+	Option string // the Config field that cannot apply natively
+}
+
+func (e *UnsupportedOnNativeError) Error() string {
+	return fmt.Sprintf("cool: Config.%s requires simulated time and is unsupported on the native backend", e.Option)
+}
 
 // TaskPanicError is returned by Run when a task's body panicked (or a
 // fault plan injected a panic into it). It carries the task's identity,
@@ -186,6 +201,24 @@ func (rt *Runtime) wrapRunError(err error) error {
 			BlockedTasks: f.Blocked,
 			Clocks:       f.Clocks,
 			Snapshot:     f.Snapshot,
+		}
+	}
+	return err
+}
+
+// wrapNativeError converts native-runtime failures into the public
+// typed errors. Time is wall-clock nanoseconds since Run started.
+func (rt *Runtime) wrapNativeError(err error) error {
+	if err == nil {
+		return nil
+	}
+	if f, ok := err.(*native.TaskFailure); ok {
+		return &TaskPanicError{
+			Task:  f.Task,
+			Proc:  f.Proc,
+			Time:  f.Time,
+			Value: f.Value,
+			Stack: f.Stack,
 		}
 	}
 	return err

@@ -170,7 +170,10 @@ func (ap *app) pathCost(ctx *cool.Ctx, w *wire, horizFirst bool) int64 {
 		if !horiz {
 			off = 1
 		}
-		total += 1 + ap.cost.Data[idx+off]
+		// Concurrent routers update the cell through AddI64; the atomic
+		// load keeps the native backend race-free without changing the
+		// simulated charge above.
+		total += 1 + ctx.LoadI64(ap.cost, idx+off)
 		ctx.Compute(3)
 	})
 	return total
@@ -184,7 +187,7 @@ func (ap *app) lay(ctx *cool.Ctx, w *wire, delta int64) {
 			off = 1
 		}
 		ctx.Access(ap.cost.Addr(idx+off), 8, true)
-		ap.cost.Data[idx+off] += delta
+		ctx.AddI64(ap.cost, idx+off, delta)
 		ctx.Compute(1)
 	})
 }

@@ -32,11 +32,61 @@ type App struct {
 	Run func(procs int, variant string, size int) (Result, error)
 	// RunCfg executes the app with the named variant under an explicit
 	// base runtime configuration — the chaos driver injects fault plans,
-	// retry policies, and deadlines here. cfg.Processors selects the
-	// machine size; the variant's scheduling knobs are applied on top.
+	// retry policies, and deadlines here, and the differential harness
+	// selects the execution backend. cfg.Processors selects the machine
+	// size; the variant's scheduling knobs are applied on top.
 	RunCfg func(cfg cool.Config, variant string, size int) (Result, error)
 	// RunSerial executes the single-task serial reference.
 	RunSerial func(size int) (Result, error)
+}
+
+// appSpec is everything app-specific the registry needs: the variant
+// list, the size→params mapping, the two entry points, and how each raw
+// result becomes the uniform Result. newApp derives the rest — variant
+// name resolution, Run/RunCfg/RunSerial plumbing — identically for
+// every app.
+type appSpec[V fmt.Stringer, P, R any] struct {
+	name      string
+	variants  []V
+	params    func(size int) P
+	runWith   func(cfg cool.Config, v V, p P) (R, error)
+	runSerial func(p P) (R, error)
+	result    func(R) Result // parallel runs
+	serial    func(R) Result // serial reference (often fewer Verify tokens)
+}
+
+// newApp builds the registry entry from a spec.
+func newApp[V fmt.Stringer, P, R any](s appSpec[V, P, R]) App {
+	names := make([]string, len(s.variants))
+	for i, v := range s.variants {
+		names[i] = v.String()
+	}
+	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
+		i, err := variantIndex(s.name, names, variant)
+		if err != nil {
+			return Result{}, err
+		}
+		r, err := s.runWith(cfg, s.variants[i], s.params(size))
+		if err != nil {
+			return Result{}, err
+		}
+		return s.result(r), nil
+	}
+	return App{
+		Name:     s.name,
+		Variants: names,
+		Run: func(procs int, variant string, size int) (Result, error) {
+			return runCfg(cool.Config{Processors: procs}, variant, size)
+		},
+		RunCfg: runCfg,
+		RunSerial: func(size int) (Result, error) {
+			r, err := s.runSerial(s.params(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return s.serial(r), nil
+		},
+	}
 }
 
 var registry = []App{panchoApp(), oceanApp(), locusApp(), blockchoApp(), barneshutApp(), gaussApp()}
@@ -71,245 +121,134 @@ func variantIndex(app string, names []string, want string) (int, error) {
 }
 
 func panchoApp() App {
-	names := make([]string, len(pancho.Variants))
-	for i, v := range pancho.Variants {
-		names[i] = v.String()
-	}
-	prm := func(size int) pancho.Params {
-		p := pancho.DefaultParams()
-		if size > 0 {
-			p.Grid = size
-		}
-		return p
-	}
-	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
-		i, err := variantIndex("pancho", names, variant)
-		if err != nil {
-			return Result{}, err
-		}
-		r, err := pancho.RunWith(cfg, pancho.Variants[i], prm(size))
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{r.Cycles, r.Report,
-			fmt.Sprintf("residual=%.2e maxdiff=%.2e panels=%d", r.Residual, r.MaxDiff, r.Panels)}, nil
-	}
-	return App{
-		Name:     "pancho",
-		Variants: names,
-		Run: func(procs int, variant string, size int) (Result, error) {
-			return runCfg(cool.Config{Processors: procs}, variant, size)
-		},
-		RunCfg: runCfg,
-		RunSerial: func(size int) (Result, error) {
-			r, err := pancho.RunSerial(prm(size))
-			if err != nil {
-				return Result{}, err
+	return newApp(appSpec[pancho.Variant, pancho.Params, pancho.Result]{
+		name:     "pancho",
+		variants: pancho.Variants,
+		params: func(size int) pancho.Params {
+			p := pancho.DefaultParams()
+			if size > 0 {
+				p.Grid = size
 			}
-			return Result{r.Cycles, r.Report, fmt.Sprintf("residual=%.2e", r.Residual)}, nil
+			return p
 		},
-	}
+		runWith:   pancho.RunWith,
+		runSerial: pancho.RunSerial,
+		result: func(r pancho.Result) Result {
+			return Result{r.Cycles, r.Report,
+				fmt.Sprintf("residual=%.2e maxdiff=%.2e panels=%d", r.Residual, r.MaxDiff, r.Panels)}
+		},
+		serial: func(r pancho.Result) Result {
+			return Result{r.Cycles, r.Report, fmt.Sprintf("residual=%.2e", r.Residual)}
+		},
+	})
 }
 
 func oceanApp() App {
-	names := make([]string, len(ocean.Variants))
-	for i, v := range ocean.Variants {
-		names[i] = v.String()
+	verify := func(r ocean.Result) Result {
+		return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}
 	}
-	prm := func(size int) ocean.Params {
-		p := ocean.DefaultParams()
-		if size > 0 {
-			p.N = size
-		}
-		return p
-	}
-	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
-		i, err := variantIndex("ocean", names, variant)
-		if err != nil {
-			return Result{}, err
-		}
-		r, err := ocean.RunWith(cfg, ocean.Variants[i], prm(size))
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
-	}
-	return App{
-		Name:     "ocean",
-		Variants: names,
-		Run: func(procs int, variant string, size int) (Result, error) {
-			return runCfg(cool.Config{Processors: procs}, variant, size)
-		},
-		RunCfg: runCfg,
-		RunSerial: func(size int) (Result, error) {
-			r, err := ocean.RunSerial(prm(size))
-			if err != nil {
-				return Result{}, err
+	return newApp(appSpec[ocean.Variant, ocean.Params, ocean.Result]{
+		name:     "ocean",
+		variants: ocean.Variants,
+		params: func(size int) ocean.Params {
+			p := ocean.DefaultParams()
+			if size > 0 {
+				p.N = size
 			}
-			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+			return p
 		},
-	}
+		runWith:   ocean.RunWith,
+		runSerial: ocean.RunSerial,
+		result:    verify,
+		serial:    verify,
+	})
 }
 
 func locusApp() App {
-	names := make([]string, len(locusroute.Variants))
-	for i, v := range locusroute.Variants {
-		names[i] = v.String()
-	}
-	prm := func(size int) locusroute.Params {
-		p := locusroute.DefaultParams()
-		if size > 0 {
-			p.WiresPer = size
-		}
-		return p
-	}
-	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
-		i, err := variantIndex("locusroute", names, variant)
-		if err != nil {
-			return Result{}, err
-		}
-		r, err := locusroute.RunWith(cfg, locusroute.Variants[i], prm(size))
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{r.Cycles, r.Report,
-			fmt.Sprintf("consistent=%v cost=%d wires=%d", r.Consistent, r.TotalCost, r.Wires)}, nil
-	}
-	return App{
-		Name:     "locusroute",
-		Variants: names,
-		Run: func(procs int, variant string, size int) (Result, error) {
-			return runCfg(cool.Config{Processors: procs}, variant, size)
-		},
-		RunCfg: runCfg,
-		RunSerial: func(size int) (Result, error) {
-			r, err := locusroute.RunSerial(prm(size))
-			if err != nil {
-				return Result{}, err
+	return newApp(appSpec[locusroute.Variant, locusroute.Params, locusroute.Result]{
+		name:     "locusroute",
+		variants: locusroute.Variants,
+		params: func(size int) locusroute.Params {
+			p := locusroute.DefaultParams()
+			if size > 0 {
+				p.WiresPer = size
 			}
-			return Result{r.Cycles, r.Report,
-				fmt.Sprintf("consistent=%v cost=%d", r.Consistent, r.TotalCost)}, nil
+			return p
 		},
-	}
+		runWith:   locusroute.RunWith,
+		runSerial: locusroute.RunSerial,
+		result: func(r locusroute.Result) Result {
+			return Result{r.Cycles, r.Report,
+				fmt.Sprintf("consistent=%v cost=%d wires=%d", r.Consistent, r.TotalCost, r.Wires)}
+		},
+		serial: func(r locusroute.Result) Result {
+			return Result{r.Cycles, r.Report,
+				fmt.Sprintf("consistent=%v cost=%d", r.Consistent, r.TotalCost)}
+		},
+	})
 }
 
 func blockchoApp() App {
-	names := make([]string, len(blockcho.Variants))
-	for i, v := range blockcho.Variants {
-		names[i] = v.String()
-	}
-	prm := func(size int) blockcho.Params {
-		p := blockcho.DefaultParams()
-		if size > 0 {
-			p.N = size
-		}
-		return p
-	}
-	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
-		i, err := variantIndex("blockcho", names, variant)
-		if err != nil {
-			return Result{}, err
-		}
-		r, err := blockcho.RunWith(cfg, blockcho.Variants[i], prm(size))
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{r.Cycles, r.Report,
-			fmt.Sprintf("maxdiff=%.2e blocks=%d", r.MaxDiff, r.Blocks)}, nil
-	}
-	return App{
-		Name:     "blockcho",
-		Variants: names,
-		Run: func(procs int, variant string, size int) (Result, error) {
-			return runCfg(cool.Config{Processors: procs}, variant, size)
-		},
-		RunCfg: runCfg,
-		RunSerial: func(size int) (Result, error) {
-			r, err := blockcho.RunSerial(prm(size))
-			if err != nil {
-				return Result{}, err
+	return newApp(appSpec[blockcho.Variant, blockcho.Params, blockcho.Result]{
+		name:     "blockcho",
+		variants: blockcho.Variants,
+		params: func(size int) blockcho.Params {
+			p := blockcho.DefaultParams()
+			if size > 0 {
+				p.N = size
 			}
-			return Result{r.Cycles, r.Report, fmt.Sprintf("maxdiff=%.2e", r.MaxDiff)}, nil
+			return p
 		},
-	}
+		runWith:   blockcho.RunWith,
+		runSerial: blockcho.RunSerial,
+		result: func(r blockcho.Result) Result {
+			return Result{r.Cycles, r.Report,
+				fmt.Sprintf("maxdiff=%.2e blocks=%d", r.MaxDiff, r.Blocks)}
+		},
+		serial: func(r blockcho.Result) Result {
+			return Result{r.Cycles, r.Report, fmt.Sprintf("maxdiff=%.2e", r.MaxDiff)}
+		},
+	})
 }
 
 func barneshutApp() App {
-	names := make([]string, len(barneshut.Variants))
-	for i, v := range barneshut.Variants {
-		names[i] = v.String()
+	verify := func(r barneshut.Result) Result {
+		return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}
 	}
-	prm := func(size int) barneshut.Params {
-		p := barneshut.DefaultParams()
-		if size > 0 {
-			p.Bodies = size
-		}
-		return p
-	}
-	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
-		i, err := variantIndex("barneshut", names, variant)
-		if err != nil {
-			return Result{}, err
-		}
-		r, err := barneshut.RunWith(cfg, barneshut.Variants[i], prm(size))
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
-	}
-	return App{
-		Name:     "barneshut",
-		Variants: names,
-		Run: func(procs int, variant string, size int) (Result, error) {
-			return runCfg(cool.Config{Processors: procs}, variant, size)
-		},
-		RunCfg: runCfg,
-		RunSerial: func(size int) (Result, error) {
-			r, err := barneshut.RunSerial(prm(size))
-			if err != nil {
-				return Result{}, err
+	return newApp(appSpec[barneshut.Variant, barneshut.Params, barneshut.Result]{
+		name:     "barneshut",
+		variants: barneshut.Variants,
+		params: func(size int) barneshut.Params {
+			p := barneshut.DefaultParams()
+			if size > 0 {
+				p.Bodies = size
 			}
-			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+			return p
 		},
-	}
+		runWith:   barneshut.RunWith,
+		runSerial: barneshut.RunSerial,
+		result:    verify,
+		serial:    verify,
+	})
 }
 
 func gaussApp() App {
-	names := make([]string, len(gauss.Variants))
-	for i, v := range gauss.Variants {
-		names[i] = v.String()
+	verify := func(r gauss.Result) Result {
+		return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}
 	}
-	prm := func(size int) gauss.Params {
-		p := gauss.DefaultParams()
-		if size > 0 {
-			p.N = size
-		}
-		return p
-	}
-	runCfg := func(cfg cool.Config, variant string, size int) (Result, error) {
-		i, err := variantIndex("gauss", names, variant)
-		if err != nil {
-			return Result{}, err
-		}
-		r, err := gauss.RunWith(cfg, gauss.Variants[i], prm(size))
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
-	}
-	return App{
-		Name:     "gauss",
-		Variants: names,
-		Run: func(procs int, variant string, size int) (Result, error) {
-			return runCfg(cool.Config{Processors: procs}, variant, size)
-		},
-		RunCfg: runCfg,
-		RunSerial: func(size int) (Result, error) {
-			r, err := gauss.RunSerial(prm(size))
-			if err != nil {
-				return Result{}, err
+	return newApp(appSpec[gauss.Variant, gauss.Params, gauss.Result]{
+		name:     "gauss",
+		variants: gauss.Variants,
+		params: func(size int) gauss.Params {
+			p := gauss.DefaultParams()
+			if size > 0 {
+				p.N = size
 			}
-			return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}, nil
+			return p
 		},
-	}
+		runWith:   gauss.RunWith,
+		runSerial: gauss.RunSerial,
+		result:    verify,
+		serial:    verify,
+	})
 }

@@ -103,6 +103,12 @@ type Scheduler struct {
 
 	queuedTotal int // tasks queued machine-wide (sum of sv.queued)
 
+	// setSplits counts task-affinity set members enqueued or stolen away
+	// from their set's recorded home. Must stay zero under the default
+	// whole-set-stealing policy; only the NoSetStealing fallback (taking
+	// individual set members) legitimately splits sets.
+	setSplits int64
+
 	// onAbort is the runtime's retry hook for transiently failed task
 	// launches (see retry.go). nil means any abort fails the run.
 	onAbort func(td *TaskDesc, failedOn int, now int64) bool
@@ -327,6 +333,11 @@ func (s *Scheduler) reroute(td *TaskDesc, from int) int {
 func (s *Scheduler) Enqueue(td *TaskDesc, now int64) {
 	if s.Srv[td.Server].dead {
 		td.Server = s.reroute(td, td.Server)
+	}
+	if td.Class == ClassTaskSet {
+		if h, ok := s.setHome[td.AffObj]; ok && h != td.Server {
+			s.setSplits++
+		}
 	}
 	sv := s.Srv[td.Server]
 	if td.Slot >= 0 {
@@ -583,6 +594,9 @@ func (s *Scheduler) stealFrom(v, thief *server, thiefID int) *TaskDesc {
 		if head.Class == ClassObjectBound && (!s.Pol.StealObjectBound || v.queued < 2) {
 			continue
 		}
+		if head.Class == ClassTaskSet {
+			s.setSplits++
+		}
 		q.remove(head)
 		s.afterSlotPop(v, q)
 		s.noteDequeued(v, 1)
@@ -590,6 +604,10 @@ func (s *Scheduler) stealFrom(v, thief *server, thiefID int) *TaskDesc {
 	}
 	return nil
 }
+
+// SetSplits returns how often a task-affinity set member was enqueued or
+// stolen away from its set's recorded home (see the field comment).
+func (s *Scheduler) SetSplits() int64 { return s.setSplits }
 
 // issue finalizes a dispatch decision: perfmon accounting and bookkeeping.
 func (s *Scheduler) issue(td *TaskDesc, p *sim.Proc) *sim.Task {

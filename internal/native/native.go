@@ -1,0 +1,811 @@
+// Package native executes COOL programs on real goroutines: one worker
+// goroutine per simulated processor, each owning the paper's queue
+// structure (a plain/object queue plus a hashed array of task-affinity
+// queues with a non-empty list), with whole-set stealing, reluctant
+// object-affinity stealing, and optional cluster-restricted stealing.
+//
+// The package mirrors the simulator scheduler in internal/core queue for
+// queue and steal discipline, but time is wall-clock nanoseconds and
+// synchronization is real (sync.Mutex monitors, channel parking). A
+// single native worker applies the identical dispatch priority as the
+// simulator's server — current task-affinity queue back to back, then
+// the non-empty list, then the plain queue — so a P=1 native run
+// executes tasks in exactly the simulated order, which the differential
+// harness in internal/xcheck exploits.
+package native
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/coolrts/cool/internal/core"
+	"github.com/coolrts/cool/internal/perfmon"
+	"github.com/coolrts/cool/internal/trace"
+)
+
+// wakeFanout is the number of parked workers a targeted wakeup notifies
+// before the machine-wide backlog forces a broadcast (same constant as
+// the simulator scheduler).
+const wakeFanout = 4
+
+// Config describes the native machine: worker count, cluster topology
+// (which steers victim order, not memory), and the scheduling policy.
+type Config struct {
+	Procs       int
+	ClusterSize int
+	PageSize    int64 // for the two-modulo task-affinity slot hash
+	Pol         core.Policy
+
+	// Home maps an object address to its home worker (the address-space
+	// lookup, supplied by the embedding runtime with any locking it
+	// needs). Required.
+	Home func(addr int64) int
+
+	// Mon receives per-worker counters. Every worker writes only its own
+	// row, so the shared monitor needs no locking. Required.
+	Mon *perfmon.Monitor
+
+	// TraceCapacity, when positive, bounds the merged scheduler event
+	// trace (timestamps are wall-clock nanoseconds since Run).
+	TraceCapacity int
+}
+
+// TaskFailure reports a panicked task. The embedding runtime converts it
+// to its public typed error.
+type TaskFailure struct {
+	Task  string
+	Proc  int
+	Time  int64 // nanoseconds since Run started
+	Value any
+	Stack string
+}
+
+func (f *TaskFailure) Error() string {
+	return fmt.Sprintf("native: task %q panicked on P%d at %dns: %v", f.Task, f.Proc, f.Time, f.Value)
+}
+
+// task is one spawned task record. Records are pooled: a completed task
+// is zeroed and reused by a later spawn.
+type task struct {
+	name   string
+	fn     func(*Ctx)
+	class  core.Class
+	server int
+	slot   int   // task-affinity queue index, -1 for the plain queue
+	affObj int64 // address identifying the task-affinity set (0 if none)
+	scope  *scope
+	mon    *Monitor // mutex-function monitor, locked around fn
+
+	// Intrusive queue links.
+	next, prev *task
+	q          *taskQueue
+}
+
+// worker is one executor goroutine's scheduling state. The queue fields
+// are guarded by mu; busyNS/idleNS and events are owned by the worker's
+// goroutine (read only after Run returns).
+type worker struct {
+	id       int
+	mu       sync.Mutex
+	plain    taskQueue
+	slots    []taskQueue
+	nonEmpty nonEmptyList
+	cur      *taskQueue // slot being drained back to back
+	queued   atomic.Int64
+
+	wake chan struct{} // cap 1; parking/wakeup token
+
+	busyNS, idleNS int64
+	events         []trace.Event
+}
+
+// Runtime is one native program execution.
+type Runtime struct {
+	cfg     Config
+	pol     core.Policy
+	workers []*worker
+
+	// Static victim rings in (thief+d)%P probe order (processors never
+	// retire natively, so they are built once).
+	ringCluster [][]int
+	ringRemote  [][]int
+	ringFlat    [][]int
+
+	// placeMu guards the task-affinity set table and every operation
+	// that must be atomic with respect to it: placing a set member,
+	// inserting it, and moving a whole set to a thief. This is what
+	// keeps "sets never split" an invariant rather than a tendency.
+	placeMu sync.Mutex
+	setHome map[int64]int
+
+	rr          atomic.Int64 // round-robin cursor (Base mode, set spread)
+	queuedTotal atomic.Int64
+	parked      atomic.Uint64 // bitmask of parked workers
+	live        atomic.Int64  // tasks spawned but not yet completed
+	done        chan struct{} // closed when live drains to zero
+	doneOnce    sync.Once
+
+	clusterOnly atomic.Bool // dynamic cluster-stealing flag
+	setSplits   atomic.Int64
+
+	failMu sync.Mutex
+	fail   *TaskFailure
+
+	pool    sync.Pool
+	start   time.Time
+	elapsed atomic.Int64
+	ran     bool
+}
+
+// New builds a native runtime. The configuration must carry a Home
+// lookup and a perfmon monitor with one row per worker.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Procs <= 0 || cfg.Procs > 64 {
+		return nil, fmt.Errorf("native: worker count %d out of range [1,64]", cfg.Procs)
+	}
+	if cfg.ClusterSize <= 0 {
+		return nil, fmt.Errorf("native: ClusterSize must be positive")
+	}
+	if cfg.PageSize <= 0 {
+		return nil, fmt.Errorf("native: PageSize must be positive")
+	}
+	if cfg.Home == nil || cfg.Mon == nil || len(cfg.Mon.Per) < cfg.Procs {
+		return nil, fmt.Errorf("native: Home lookup and a %d-row perfmon monitor are required", cfg.Procs)
+	}
+	pol := cfg.Pol
+	if pol.QueueArraySize <= 0 {
+		pol.QueueArraySize = 64
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		pol:     pol,
+		setHome: make(map[int64]int),
+		done:    make(chan struct{}),
+	}
+	rt.clusterOnly.Store(pol.ClusterStealingOnly)
+	rt.pool.New = func() any { return new(task) }
+	rt.workers = make([]*worker, cfg.Procs)
+	for i := range rt.workers {
+		w := &worker{id: i, slots: make([]taskQueue, pol.QueueArraySize), wake: make(chan struct{}, 1)}
+		for j := range w.slots {
+			w.slots[j].slotIdx = j
+		}
+		rt.workers[i] = w
+	}
+	rt.buildVictimRings()
+	return rt, nil
+}
+
+func (rt *Runtime) sameCluster(p, q int) bool {
+	return p/rt.cfg.ClusterSize == q/rt.cfg.ClusterSize
+}
+
+func (rt *Runtime) buildVictimRings() {
+	n := rt.cfg.Procs
+	rt.ringCluster = make([][]int, n)
+	rt.ringRemote = make([][]int, n)
+	rt.ringFlat = make([][]int, n)
+	for t := 0; t < n; t++ {
+		for d := 1; d < n; d++ {
+			v := (t + d) % n
+			rt.ringFlat[t] = append(rt.ringFlat[t], v)
+			if rt.sameCluster(t, v) {
+				rt.ringCluster[t] = append(rt.ringCluster[t], v)
+			} else {
+				rt.ringRemote[t] = append(rt.ringRemote[t], v)
+			}
+		}
+	}
+}
+
+// slotOf maps a task-affinity object to its queue index, mixing line and
+// page numbers exactly like the simulator scheduler.
+func (rt *Runtime) slotOf(addr int64) int {
+	h := addr>>6 + addr/rt.cfg.PageSize
+	return int(h % int64(rt.pol.QueueArraySize))
+}
+
+// nowNS returns nanoseconds since Run started.
+func (rt *Runtime) nowNS() int64 { return time.Since(rt.start).Nanoseconds() }
+
+// ElapsedNanos returns the wall-clock duration of Run.
+func (rt *Runtime) ElapsedNanos() int64 { return rt.elapsed.Load() }
+
+// BusyIdleNanos returns the summed per-worker busy (running tasks) and
+// idle (parked) nanoseconds. Call after Run.
+func (rt *Runtime) BusyIdleNanos() (busy, idle int64) {
+	for _, w := range rt.workers {
+		busy += w.busyNS
+		idle += w.idleNS
+	}
+	return busy, idle
+}
+
+// SetSplits returns how often a task-affinity set was observed split
+// across workers (an invariant violation; must be zero under the default
+// whole-set stealing policy).
+func (rt *Runtime) SetSplits() int64 { return rt.setSplits.Load() }
+
+// QueuedTasks returns the tasks currently enqueued machine-wide.
+func (rt *Runtime) QueuedTasks() int { return int(rt.queuedTotal.Load()) }
+
+// SetClusterStealingOnly flips the cluster-stealing restriction at run
+// time (the paper's dynamically manipulated runtime flag, §6.3).
+func (rt *Runtime) SetClusterStealingOnly(on bool) { rt.clusterOnly.Store(on) }
+
+// Run executes main as the root task on worker 0 and returns after every
+// task has completed. A panicking task aborts with *TaskFailure (the
+// remaining tasks still drain).
+func (rt *Runtime) Run(main func(*Ctx)) error {
+	if rt.ran {
+		return fmt.Errorf("native: Run called twice")
+	}
+	rt.ran = true
+	rt.start = time.Now()
+	root := rt.newTask()
+	root.name, root.fn = "main", main
+	root.class, root.server, root.slot = core.ClassProcessor, 0, -1
+	rt.live.Store(1)
+	rt.insertAndWake(root, 0)
+	var wg sync.WaitGroup
+	for _, w := range rt.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			rt.loop(w)
+		}(w)
+	}
+	wg.Wait()
+	rt.elapsed.Store(time.Since(rt.start).Nanoseconds())
+	rt.failMu.Lock()
+	defer rt.failMu.Unlock()
+	if rt.fail != nil {
+		return rt.fail
+	}
+	return nil
+}
+
+// TraceEvents returns the merged per-worker event buffers ordered by
+// timestamp, bounded by Config.TraceCapacity. Call after Run.
+func (rt *Runtime) TraceEvents() []trace.Event {
+	var all []trace.Event
+	for _, w := range rt.workers {
+		all = append(all, w.events...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+	if rt.cfg.TraceCapacity > 0 && len(all) > rt.cfg.TraceCapacity {
+		all = all[:rt.cfg.TraceCapacity]
+	}
+	return all
+}
+
+// trace records one event into the worker's private buffer (merged and
+// sorted by TraceEvents). Each worker writes only its own buffer, so
+// recording needs no locking.
+func (rt *Runtime) trace(w *worker, kind trace.Kind, proc int, name string, arg int64) {
+	if rt.cfg.TraceCapacity <= 0 || len(w.events) >= rt.cfg.TraceCapacity {
+		return
+	}
+	w.events = append(w.events, trace.Event{Time: rt.nowNS(), Proc: int32(proc), Kind: kind, Task: name, Arg: arg})
+}
+
+func (rt *Runtime) newTask() *task {
+	t := rt.pool.Get().(*task)
+	*t = task{slot: -1}
+	return t
+}
+
+func (rt *Runtime) freeTask(t *task) {
+	*t = task{}
+	rt.pool.Put(t)
+}
+
+func (rt *Runtime) recordFailure(f *TaskFailure) {
+	rt.failMu.Lock()
+	if rt.fail == nil {
+		rt.fail = f
+	}
+	rt.failMu.Unlock()
+}
+
+// parkRetryLimit is how many consecutive failed takes re-probe
+// immediately while work is queued somewhere; past it the worker
+// concludes the queued work is work it may not take (pinned heads,
+// reluctantly-stolen object-bound tasks) and backs off for
+// stallBackoff instead of spinning on the placement lock — spinning
+// would slow the very workers running those tasks.
+const (
+	parkRetryLimit = 4
+	stallBackoff   = 100 * time.Microsecond
+)
+
+// loop is one worker's scheduling loop: local queues, stealing, parking.
+func (rt *Runtime) loop(w *worker) {
+	misses := 0
+	for {
+		if t := rt.take(w); t != nil {
+			misses = 0
+			rt.runTask(w, t)
+			continue
+		}
+		select {
+		case <-rt.done:
+			return
+		default:
+		}
+		misses++
+		rt.park(w, misses)
+	}
+}
+
+// park publishes the worker as idle, rechecks for work (closing the
+// publish/recheck race against enqueuers), and sleeps until woken — or,
+// when unstealable work is backlogged elsewhere, for at most
+// stallBackoff.
+func (rt *Runtime) park(w *worker, misses int) {
+	rt.setParked(w.id, true)
+	defer rt.setParked(w.id, false)
+	queued := rt.queuedTotal.Load() > 0
+	if queued && misses < parkRetryLimit {
+		return // work appeared between the failed take and publishing
+	}
+	start := time.Now()
+	if queued {
+		select {
+		case <-w.wake:
+		case <-rt.done:
+		case <-time.After(stallBackoff):
+		}
+	} else {
+		select {
+		case <-w.wake:
+		case <-rt.done:
+		}
+	}
+	w.idleNS += time.Since(start).Nanoseconds()
+}
+
+func (rt *Runtime) setParked(id int, on bool) {
+	bit := uint64(1) << uint(id)
+	for {
+		old := rt.parked.Load()
+		var next uint64
+		if on {
+			next = old | bit
+		} else {
+			next = old &^ bit
+		}
+		if rt.parked.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// wakeWorker hands worker i a wake token if none is pending.
+func (rt *Runtime) wakeWorker(i int) {
+	select {
+	case rt.workers[i].wake <- struct{}{}:
+	default:
+	}
+}
+
+// wakeAfterEnqueue mirrors the simulator's wake policy: the target
+// worker is notified immediately; while the machine-wide backlog is
+// shallow only the first wakeFanout parked workers are woken, falling
+// back to waking every parked worker once queues back up. Wake counters
+// are attributed to the enqueueing worker's row (the simulator charges
+// the target server; totals remain comparable, attribution is
+// documented in DESIGN.md §9).
+func (rt *Runtime) wakeAfterEnqueue(target, from int) {
+	rt.wakeWorker(target)
+	if rt.pol.DisableStealing {
+		return
+	}
+	ctr := &rt.cfg.Mon.Per[from]
+	mask := rt.parked.Load()
+	if rt.queuedTotal.Load() > wakeFanout {
+		ctr.BroadcastWakes++
+		for i := 0; mask != 0 && i < rt.cfg.Procs; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				rt.wakeWorker(i)
+				mask &^= 1 << uint(i)
+			}
+		}
+	} else {
+		ctr.TargetedWakes++
+		woken := 0
+		for i := 0; mask != 0 && i < rt.cfg.Procs && woken < wakeFanout; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				rt.wakeWorker(i)
+				mask &^= 1 << uint(i)
+				woken++
+			}
+		}
+	}
+}
+
+// place resolves an affinity specification against Table 1's semantics,
+// filling the task's placement fields. Task-affinity sets are resolved
+// and inserted under placeMu by the caller.
+func (rt *Runtime) place(t *task, a core.Affinity, spawner int) {
+	p := rt.cfg.Procs
+	if rt.pol.IgnoreHints {
+		t.class, t.server = core.ClassPlain, int(rt.rr.Add(1)-1)%p
+		return
+	}
+	switch a.Kind {
+	case core.AffNone:
+		t.class, t.server = core.ClassPlain, spawner
+	case core.AffDefault, core.AffSimple:
+		t.class, t.server, t.slot, t.affObj = core.ClassObjectBound, rt.cfg.Home(a.TaskObj), rt.slotOf(a.TaskObj), a.TaskObj
+	case core.AffObject:
+		t.class, t.server, t.slot, t.affObj = core.ClassObjectBound, rt.cfg.Home(a.ObjectObj), rt.slotOf(a.ObjectObj), a.ObjectObj
+	case core.AffTaskObject:
+		t.class, t.server, t.slot, t.affObj = core.ClassObjectBound, rt.cfg.Home(a.ObjectObj), rt.slotOf(a.TaskObj), a.TaskObj
+	case core.AffProcessor:
+		sv := a.Processor % p
+		if sv < 0 {
+			sv += p
+		}
+		t.class, t.server = core.ClassProcessor, sv
+	case core.AffTask:
+		panic("native: AffTask placement must go through placeSet")
+	default:
+		panic(fmt.Sprintf("native: unknown affinity kind %d", a.Kind))
+	}
+}
+
+// placeSet places and inserts one task-affinity set member, returning
+// the server it went to. Lookup, insertion, and the split check run
+// under placeMu so a concurrent whole-set steal can never interleave
+// between placement and enqueue.
+func (rt *Runtime) placeSet(t *task, obj int64) int {
+	t.class, t.slot, t.affObj = core.ClassTaskSet, rt.slotOf(obj), obj
+	rt.placeMu.Lock()
+	sv, ok := rt.setHome[obj]
+	if !ok {
+		if rt.pol.PlaceSetsLeastLoaded {
+			sv = rt.leastLoaded()
+		} else {
+			sv = int(rt.rr.Add(1)-1) % rt.cfg.Procs
+		}
+		rt.setHome[obj] = sv
+	}
+	t.server = sv
+	if rt.setHome[obj] != t.server {
+		rt.setSplits.Add(1)
+	}
+	rt.insert(t)
+	rt.placeMu.Unlock()
+	return sv
+}
+
+// leastLoaded returns the worker with the fewest queued tasks (ties to
+// the lowest id). Called under placeMu; the per-worker counts are
+// atomics, so the scan is a consistent-enough snapshot.
+func (rt *Runtime) leastLoaded() int {
+	best, bestQ := 0, int64(1)<<62
+	for i, w := range rt.workers {
+		if q := w.queued.Load(); q < bestQ {
+			best, bestQ = i, q
+		}
+	}
+	return best
+}
+
+// insert pushes t onto its server's queues (taking that worker's lock).
+func (rt *Runtime) insert(t *task) {
+	w := rt.workers[t.server]
+	w.mu.Lock()
+	if t.slot >= 0 {
+		q := &w.slots[t.slot]
+		q.push(t)
+		w.nonEmpty.add(q)
+	} else {
+		w.plain.push(t)
+	}
+	w.queued.Add(1)
+	w.mu.Unlock()
+	rt.queuedTotal.Add(1)
+}
+
+// insertAndWake inserts t and applies the wake policy. The task's name
+// and server are captured before the insert publishes it: once queued,
+// another worker may steal it (rewriting server), run it, and recycle
+// the record.
+func (rt *Runtime) insertAndWake(t *task, from int) {
+	name, server := t.name, t.server
+	rt.insert(t)
+	rt.trace(rt.workers[from], trace.KindEnqueue, -1, name, int64(server))
+	rt.wakeAfterEnqueue(server, from)
+}
+
+// spawn creates, places, and enqueues one task on behalf of ctx.
+func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn func(*Ctx)) {
+	from := c.w.id
+	rt.cfg.Mon.Per[from].Spawns++
+	t := rt.newTask()
+	t.name, t.fn, t.mon = name, fn, mon
+	t.scope = c.scope
+	if t.scope != nil {
+		t.scope.n.Add(1)
+	}
+	rt.live.Add(1)
+	if !rt.pol.IgnoreHints && a.Kind == core.AffTask {
+		server := rt.placeSet(t, a.TaskObj) // t is published after this
+		rt.trace(c.w, trace.KindEnqueue, -1, name, int64(server))
+		rt.wakeAfterEnqueue(server, from)
+		return
+	}
+	rt.place(t, a, from)
+	rt.insertAndWake(t, from)
+}
+
+// take removes the next task for w: local queues first, then stealing.
+func (rt *Runtime) take(w *worker) *task {
+	w.mu.Lock()
+	t := rt.takeLocal(w)
+	w.mu.Unlock()
+	if t != nil {
+		return t
+	}
+	return rt.steal(w)
+}
+
+// takeLocal mirrors the simulator's local dispatch priority: the
+// task-affinity queue being drained back to back, then the non-empty
+// list, then the plain queue. Called with w.mu held.
+func (rt *Runtime) takeLocal(w *worker) *task {
+	if w.cur != nil && !w.cur.empty() {
+		t := w.cur.pop()
+		rt.afterSlotPop(w, w.cur)
+		rt.noteDequeued(w, 1)
+		return t
+	}
+	w.cur = nil
+	if q := w.nonEmpty.head; q != nil {
+		t := q.pop()
+		rt.afterSlotPop(w, q)
+		if !q.empty() {
+			w.cur = q
+		}
+		rt.noteDequeued(w, 1)
+		return t
+	}
+	if t := w.plain.pop(); t != nil {
+		rt.noteDequeued(w, 1)
+		return t
+	}
+	return nil
+}
+
+func (rt *Runtime) afterSlotPop(w *worker, q *taskQueue) {
+	if q.empty() {
+		w.nonEmpty.removeQ(q)
+		if w.cur == q {
+			w.cur = nil
+		}
+	}
+}
+
+// noteDequeued accounts n tasks removed from w's queues (w.mu held).
+func (rt *Runtime) noteDequeued(w *worker, n int) {
+	w.queued.Add(int64(-n))
+	rt.queuedTotal.Add(int64(-n))
+}
+
+// steal scans victims for work under placeMu (which serializes steals
+// and keeps whole-set moves atomic with respect to set placement),
+// preferring same-cluster victims when the policy asks for it.
+func (rt *Runtime) steal(w *worker) *task {
+	if rt.pol.DisableStealing || rt.queuedTotal.Load() == 0 {
+		return nil
+	}
+	rt.placeMu.Lock()
+	defer rt.placeMu.Unlock()
+	clusterOnly := rt.clusterOnly.Load()
+	if rt.pol.ClusterStealFirst || clusterOnly {
+		if t := rt.stealScan(w, rt.ringCluster[w.id]); t != nil {
+			return t
+		}
+		if clusterOnly {
+			return nil
+		}
+		return rt.stealScan(w, rt.ringRemote[w.id])
+	}
+	return rt.stealScan(w, rt.ringFlat[w.id])
+}
+
+// stealScan probes one victim ring in order.
+func (rt *Runtime) stealScan(w *worker, ring []int) *task {
+	ctr := &rt.cfg.Mon.Per[w.id]
+	for _, vid := range ring {
+		v := rt.workers[vid]
+		if v.queued.Load() == 0 {
+			continue
+		}
+		ctr.StealTries++
+		t := rt.stealFrom(v, w)
+		if t == nil {
+			continue
+		}
+		if rt.sameCluster(w.id, vid) {
+			ctr.StealsLocal++
+		} else {
+			ctr.StealsRemote++
+		}
+		rt.trace(w, trace.KindSteal, w.id, t.name, int64(vid))
+		return t
+	}
+	return nil
+}
+
+// stealFrom takes work from victim v for thief w, with the paper's
+// preference order: a whole task-affinity set, a plain task, and finally
+// (reluctantly) one object-bound task from a backlogged victim. Called
+// under placeMu.
+func (rt *Runtime) stealFrom(v, w *worker) *task {
+	// A whole task-affinity set (ClassTaskSet at the head of some slot):
+	// drain every member under the victim's lock, re-home the set, and
+	// push the rest onto the thief's matching slot for back-to-back
+	// servicing.
+	if rt.pol.StealWholeSets {
+		v.mu.Lock()
+		var moved []*task
+		for q := v.nonEmpty.head; q != nil; q = q.nextQ {
+			head := q.head
+			if head == nil || head.class != core.ClassTaskSet {
+				continue
+			}
+			obj := head.affObj
+			for {
+				t := q.popMatching(obj)
+				if t == nil {
+					break
+				}
+				moved = append(moved, t)
+			}
+			rt.afterSlotPop(v, q)
+			rt.noteDequeued(v, len(moved))
+			rt.setHome[obj] = w.id
+			break
+		}
+		v.mu.Unlock()
+		if len(moved) > 0 {
+			first := moved[0]
+			first.server = w.id
+			if len(moved) > 1 {
+				w.mu.Lock()
+				for _, t := range moved[1:] {
+					t.server = w.id
+					tq := &w.slots[t.slot]
+					tq.push(t)
+					w.nonEmpty.add(tq)
+				}
+				w.queued.Add(int64(len(moved) - 1))
+				w.cur = &w.slots[first.slot]
+				w.mu.Unlock()
+				rt.queuedTotal.Add(int64(len(moved) - 1))
+			}
+			rt.cfg.Mon.Per[w.id].SetSteals++
+			return first
+		}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	// A plain or processor-affinity task: scan past pinned tasks, taking
+	// a pinned head only from a backlogged victim.
+	for t := v.plain.head; t != nil; t = t.next {
+		if t.class == core.ClassProcessor {
+			continue
+		}
+		v.plain.remove(t)
+		rt.noteDequeued(v, 1)
+		return t
+	}
+	if t := v.plain.head; t != nil && v.queued.Load() >= 2 {
+		v.plain.remove(t)
+		rt.noteDequeued(v, 1)
+		return t
+	}
+	// Last resort: one object-bound (or task-set, if set stealing is
+	// off) task from some slot, only from a backlogged victim.
+	for q := v.nonEmpty.head; q != nil; q = q.nextQ {
+		head := q.head
+		if head == nil {
+			continue
+		}
+		if head.class == core.ClassObjectBound && (!rt.pol.StealObjectBound || v.queued.Load() < 2) {
+			continue
+		}
+		if head.class == core.ClassTaskSet && rt.pol.StealWholeSets {
+			// Would split a set the whole-set pass chose not to move.
+			continue
+		}
+		q.remove(head)
+		rt.afterSlotPop(v, q)
+		rt.noteDequeued(v, 1)
+		return head
+	}
+	return nil
+}
+
+// runTask executes one task to completion on w, with perfmon and trace
+// accounting, monitor wrapping, panic recovery, and scope/termination
+// bookkeeping.
+func (rt *Runtime) runTask(w *worker, t *task) {
+	start := time.Now()
+	ctr := &rt.cfg.Mon.Per[w.id]
+	ctr.TasksRun++
+	if t.server == w.id {
+		ctr.TasksAtHome++
+	}
+	rt.trace(w, trace.KindRun, w.id, t.name, 0)
+	c := &Ctx{w: w, rt: rt, scope: t.scope}
+	rt.execute(c, t)
+	rt.trace(w, trace.KindDone, w.id, t.name, 0)
+	w.busyNS += time.Since(start).Nanoseconds()
+	if t.scope != nil {
+		rt.scopeDone(t.scope)
+	}
+	rt.freeTask(t)
+	if rt.live.Add(-1) == 0 {
+		rt.doneOnce.Do(func() { close(rt.done) })
+	}
+}
+
+func (rt *Runtime) execute(c *Ctx, t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			rt.recordFailure(&TaskFailure{
+				Task:  t.name,
+				Proc:  c.w.id,
+				Time:  rt.nowNS(),
+				Value: r,
+				Stack: string(debug.Stack()),
+			})
+		}
+	}()
+	if t.mon != nil {
+		c.Lock(t.mon)
+		defer c.Unlock(t.mon)
+	}
+	t.fn(c)
+}
+
+// Ctx is the native execution context of one running task.
+type Ctx struct {
+	w     *worker
+	rt    *Runtime
+	scope *scope
+}
+
+// ProcID returns the executing worker.
+func (c *Ctx) ProcID() int { return c.w.id }
+
+// Now returns wall-clock nanoseconds since Run started.
+func (c *Ctx) Now() int64 { return c.rt.nowNS() }
+
+// Spawn creates and enqueues a task with the given affinity; mon, when
+// non-nil, makes it a mutex function on that monitor.
+func (c *Ctx) Spawn(name string, a core.Affinity, mon *Monitor, fn func(*Ctx)) {
+	c.rt.spawn(c, name, a, mon, fn)
+}
+
+// WaitFor runs body and then blocks until every task spawned in its
+// dynamic extent has completed. The waiting worker helps: it executes
+// other ready tasks (its own queues first, then stealing) and parks only
+// when there is nothing to run, so a single worker can always drain the
+// tasks its own waitfor is blocked on.
+func (c *Ctx) WaitFor(body func()) {
+	sc := &scope{}
+	old := c.scope
+	c.scope = sc
+	body()
+	c.scope = old
+	c.rt.waitScope(c, sc)
+}

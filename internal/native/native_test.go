@@ -1,0 +1,416 @@
+package native
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/coolrts/cool/internal/core"
+	"github.com/coolrts/cool/internal/perfmon"
+)
+
+// testRuntime builds a runtime whose Home lookup spreads object
+// addresses across workers page by page.
+func testRuntime(t *testing.T, procs int, mut func(*Config)) (*Runtime, *perfmon.Monitor) {
+	t.Helper()
+	mon := perfmon.New(procs)
+	cfg := Config{
+		Procs:       procs,
+		ClusterSize: 4,
+		PageSize:    4096,
+		Pol:         core.DefaultPolicy(),
+		Home:        func(addr int64) int { return int(addr/4096) % procs },
+		Mon:         mon,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return rt, mon
+}
+
+func TestRunsEveryTask(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		rt, mon := testRuntime(t, procs, nil)
+		var ran atomic.Int64
+		const n = 500
+		err := rt.Run(func(c *Ctx) {
+			c.WaitFor(func() {
+				for i := 0; i < n; i++ {
+					aff := core.Affinity{}
+					switch i % 4 {
+					case 1:
+						aff = core.Affinity{Kind: core.AffTask, TaskObj: int64(1 + i%8*4096)}
+					case 2:
+						aff = core.Affinity{Kind: core.AffObject, ObjectObj: int64(1 + i%16*4096)}
+					case 3:
+						aff = core.Affinity{Kind: core.AffProcessor, Processor: i}
+					}
+					c.Spawn("t", aff, nil, func(*Ctx) { ran.Add(1) })
+				}
+			})
+		})
+		if err != nil {
+			t.Fatalf("procs=%d: Run: %v", procs, err)
+		}
+		if ran.Load() != n {
+			t.Fatalf("procs=%d: ran %d of %d tasks", procs, ran.Load(), n)
+		}
+		total := mon.Total()
+		if total.TasksRun != n+1 { // + the root task
+			t.Fatalf("procs=%d: TasksRun=%d want %d", procs, total.TasksRun, n+1)
+		}
+		if rt.SetSplits() != 0 {
+			t.Fatalf("procs=%d: SetSplits=%d want 0", procs, rt.SetSplits())
+		}
+		if rt.QueuedTasks() != 0 {
+			t.Fatalf("procs=%d: %d tasks still queued after Run", procs, rt.QueuedTasks())
+		}
+	}
+}
+
+// TestP1DispatchOrder checks the local dispatch priority on a single
+// worker: the task-affinity queue is drained back to back ahead of the
+// plain queue, exactly like the simulator's server.
+func TestP1DispatchOrder(t *testing.T) {
+	rt, _ := testRuntime(t, 1, nil)
+	var order []string
+	err := rt.Run(func(c *Ctx) {
+		c.WaitFor(func() {
+			rec := func(name string) func(*Ctx) {
+				return func(*Ctx) { order = append(order, name) }
+			}
+			c.Spawn("plain1", core.Affinity{}, nil, rec("plain1"))
+			c.Spawn("setA1", core.Affinity{Kind: core.AffTask, TaskObj: 4096}, nil, rec("setA1"))
+			c.Spawn("plain2", core.Affinity{}, nil, rec("plain2"))
+			c.Spawn("setA2", core.Affinity{Kind: core.AffTask, TaskObj: 4096}, nil, rec("setA2"))
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := strings.Join(order, " ")
+	want := "setA1 setA2 plain1 plain2"
+	if got != want {
+		t.Fatalf("P=1 dispatch order = %q, want %q", got, want)
+	}
+}
+
+// TestWholeSetStealMovesEverything drives stealFrom directly: a victim
+// holding a three-member task-affinity set plus a plain task must lose
+// the whole set in one steal, with the set re-homed to the thief.
+func TestWholeSetStealMovesEverything(t *testing.T) {
+	rt, mon := testRuntime(t, 2, nil)
+	v, w := rt.workers[0], rt.workers[1]
+	const obj = int64(4096)
+	slot := rt.slotOf(obj)
+	rt.setHome[obj] = 0
+	for i := 0; i < 3; i++ {
+		st := rt.newTask()
+		st.name, st.fn = "set", func(*Ctx) {}
+		st.class, st.server, st.slot, st.affObj = core.ClassTaskSet, 0, slot, obj
+		rt.insert(st)
+	}
+	pl := rt.newTask()
+	pl.name, pl.fn = "plain", func(*Ctx) {}
+	pl.class, pl.server = core.ClassPlain, 0
+	rt.insert(pl)
+
+	rt.placeMu.Lock()
+	got := rt.stealFrom(v, w)
+	rt.placeMu.Unlock()
+	if got == nil || got.affObj != obj {
+		t.Fatalf("stealFrom returned %+v, want head of set %d", got, obj)
+	}
+	if rt.setHome[obj] != 1 {
+		t.Fatalf("set home = %d after steal, want thief 1", rt.setHome[obj])
+	}
+	if n := w.slots[slot].size; n != 2 {
+		t.Fatalf("thief slot holds %d set members, want 2", n)
+	}
+	if w.cur != &w.slots[slot] {
+		t.Fatalf("thief cur not pointed at the stolen set's slot")
+	}
+	if v.slots[slot].size != 0 {
+		t.Fatalf("victim still holds %d set members: set split", v.slots[slot].size)
+	}
+	if mon.Per[1].SetSteals != 1 {
+		t.Fatalf("SetSteals=%d want 1", mon.Per[1].SetSteals)
+	}
+	if v.plain.size != 1 {
+		t.Fatalf("victim plain queue disturbed: size=%d want 1", v.plain.size)
+	}
+}
+
+// TestStealSkipsPinnedHead: a processor-affinity task at the head of the
+// plain queue must not be stolen while a free task sits behind it, and a
+// lone pinned task must not be stolen at all.
+func TestStealSkipsPinnedHead(t *testing.T) {
+	rt, _ := testRuntime(t, 2, nil)
+	v, w := rt.workers[0], rt.workers[1]
+	pin := rt.newTask()
+	pin.name, pin.fn = "pinned", func(*Ctx) {}
+	pin.class, pin.server = core.ClassProcessor, 0
+	rt.insert(pin)
+	free := rt.newTask()
+	free.name, free.fn = "free", func(*Ctx) {}
+	free.class, free.server = core.ClassPlain, 0
+	rt.insert(free)
+
+	rt.placeMu.Lock()
+	got := rt.stealFrom(v, w)
+	rt.placeMu.Unlock()
+	if got == nil || got.name != "free" {
+		t.Fatalf("stole %v, want the free task behind the pinned head", got)
+	}
+	// Now only the pinned task remains (queued=1): not stealable.
+	rt.placeMu.Lock()
+	got = rt.stealFrom(v, w)
+	rt.placeMu.Unlock()
+	if got != nil {
+		t.Fatalf("stole lone pinned task %q", got.name)
+	}
+}
+
+// TestObjectBoundStolenOnlyFromBacklog: object-affinity tasks move only
+// when the victim has at least two queued tasks.
+func TestObjectBoundStolenOnlyFromBacklog(t *testing.T) {
+	rt, _ := testRuntime(t, 2, nil)
+	v, w := rt.workers[0], rt.workers[1]
+	mk := func(addr int64) {
+		ob := rt.newTask()
+		ob.name, ob.fn = "ob", func(*Ctx) {}
+		ob.class, ob.server, ob.slot, ob.affObj = core.ClassObjectBound, 0, rt.slotOf(addr), addr
+		rt.insert(ob)
+	}
+	mk(64)
+	rt.placeMu.Lock()
+	got := rt.stealFrom(v, w)
+	rt.placeMu.Unlock()
+	if got != nil {
+		t.Fatalf("stole object-bound task from a victim with queued=1")
+	}
+	mk(128)
+	rt.placeMu.Lock()
+	got = rt.stealFrom(v, w)
+	rt.placeMu.Unlock()
+	if got == nil || got.class != core.ClassObjectBound {
+		t.Fatalf("want an object-bound steal from a backlogged victim, got %v", got)
+	}
+}
+
+func TestMonitorCountsBlockedAcquisitions(t *testing.T) {
+	rt, mon := testRuntime(t, 1, nil)
+	m := &Monitor{}
+	c := &Ctx{w: rt.workers[0], rt: rt}
+	c.Lock(m)
+	if mon.Per[0].LockBlocks != 0 {
+		t.Fatalf("uncontended Lock counted as blocked")
+	}
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		c.Unlock(m)
+		close(done)
+	}()
+	c2 := &Ctx{w: rt.workers[0], rt: rt}
+	c2.Lock(m)
+	c2.Unlock(m)
+	<-done
+	if mon.Per[0].LockBlocks != 1 {
+		t.Fatalf("LockBlocks=%d want 1", mon.Per[0].LockBlocks)
+	}
+}
+
+func TestMutexTasksSerialize(t *testing.T) {
+	rt, _ := testRuntime(t, 8, nil)
+	m := &Monitor{}
+	var inside, maxInside, total int64
+	err := rt.Run(func(c *Ctx) {
+		c.WaitFor(func() {
+			for i := 0; i < 200; i++ {
+				c.Spawn("mx", core.Affinity{}, m, func(*Ctx) {
+					n := atomic.AddInt64(&inside, 1)
+					if n > atomic.LoadInt64(&maxInside) {
+						atomic.StoreInt64(&maxInside, n)
+					}
+					total++ // monitor-protected; the race detector checks it
+					atomic.AddInt64(&inside, -1)
+				})
+			}
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("%d mutex tasks ran concurrently", maxInside)
+	}
+	if total != 200 {
+		t.Fatalf("total=%d want 200", total)
+	}
+}
+
+func TestPanicBecomesTaskFailure(t *testing.T) {
+	rt, _ := testRuntime(t, 2, nil)
+	var after atomic.Int64
+	err := rt.Run(func(c *Ctx) {
+		c.WaitFor(func() {
+			c.Spawn("boom", core.Affinity{}, nil, func(*Ctx) { panic("kaput") })
+			for i := 0; i < 50; i++ {
+				c.Spawn("ok", core.Affinity{}, nil, func(*Ctx) { after.Add(1) })
+			}
+		})
+	})
+	f, ok := err.(*TaskFailure)
+	if !ok {
+		t.Fatalf("Run returned %v, want *TaskFailure", err)
+	}
+	if f.Task != "boom" || f.Value != "kaput" || f.Stack == "" {
+		t.Fatalf("failure = %+v", f)
+	}
+	if after.Load() != 50 {
+		t.Fatalf("only %d healthy tasks completed after the panic", after.Load())
+	}
+}
+
+func TestNestedWaitFor(t *testing.T) {
+	rt, _ := testRuntime(t, 4, nil)
+	var sum atomic.Int64
+	err := rt.Run(func(c *Ctx) {
+		c.WaitFor(func() {
+			for i := 0; i < 8; i++ {
+				c.Spawn("outer", core.Affinity{}, nil, func(c *Ctx) {
+					c.WaitFor(func() {
+						for j := 0; j < 8; j++ {
+							c.Spawn("inner", core.Affinity{}, nil, func(*Ctx) { sum.Add(1) })
+						}
+					})
+					sum.Add(100)
+				})
+			}
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Load() != 8*8+8*100 {
+		t.Fatalf("sum=%d want %d", sum.Load(), 8*8+8*100)
+	}
+}
+
+func TestCondSignalBroadcast(t *testing.T) {
+	rt, _ := testRuntime(t, 4, nil)
+	m := &Monitor{}
+	cv := &Cond{}
+	var stage int
+	var woken atomic.Int64
+	var wg sync.WaitGroup
+	c := &Ctx{w: rt.workers[0], rt: rt}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cc := &Ctx{w: rt.workers[1], rt: rt}
+			cc.Lock(m)
+			for stage == 0 {
+				cc.Wait(cv, m)
+			}
+			woken.Add(1)
+			cc.Unlock(m)
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	c.Lock(m)
+	stage = 1
+	c.Signal(cv)
+	c.Broadcast(cv)
+	c.Unlock(m)
+	wg.Wait()
+	if woken.Load() != 3 {
+		t.Fatalf("woken=%d want 3", woken.Load())
+	}
+}
+
+func TestVictimRings(t *testing.T) {
+	rt, _ := testRuntime(t, 8, nil)
+	// Thief 1 (cluster {0..3}): cluster ring walks (1+d)%8 restricted to
+	// the cluster, remote ring the rest, both in probe order.
+	wantCluster := []int{2, 3, 0}
+	wantRemote := []int{4, 5, 6, 7}
+	if got := rt.ringCluster[1]; !equalInts(got, wantCluster) {
+		t.Fatalf("ringCluster[1]=%v want %v", got, wantCluster)
+	}
+	if got := rt.ringRemote[1]; !equalInts(got, wantRemote) {
+		t.Fatalf("ringRemote[1]=%v want %v", got, wantRemote)
+	}
+	if got := rt.ringFlat[1]; len(got) != 7 {
+		t.Fatalf("ringFlat[1]=%v want 7 victims", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWakeCountersAccumulate: spawning from a running task charges
+// targeted or broadcast wakes to the spawner's row.
+func TestWakeCountersAccumulate(t *testing.T) {
+	rt, mon := testRuntime(t, 4, nil)
+	err := rt.Run(func(c *Ctx) {
+		c.WaitFor(func() {
+			for i := 0; i < 100; i++ {
+				c.Spawn("w", core.Affinity{}, nil, func(*Ctx) {})
+			}
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	total := mon.Total()
+	if total.TargetedWakes+total.BroadcastWakes == 0 {
+		t.Fatalf("no wake events counted across 100 spawns")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	rt, _ := testRuntime(t, 1, nil)
+	if err := rt.Run(func(*Ctx) {}); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if err := rt.Run(func(*Ctx) {}); err == nil {
+		t.Fatalf("second Run succeeded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mon := perfmon.New(4)
+	home := func(int64) int { return 0 }
+	cases := []Config{
+		{Procs: 0, ClusterSize: 4, PageSize: 4096, Home: home, Mon: mon},
+		{Procs: 65, ClusterSize: 4, PageSize: 4096, Home: home, Mon: mon},
+		{Procs: 4, ClusterSize: 0, PageSize: 4096, Home: home, Mon: mon},
+		{Procs: 4, ClusterSize: 4, PageSize: 0, Home: home, Mon: mon},
+		{Procs: 4, ClusterSize: 4, PageSize: 4096, Home: nil, Mon: mon},
+		{Procs: 4, ClusterSize: 4, PageSize: 4096, Home: home, Mon: nil},
+		{Procs: 8, ClusterSize: 4, PageSize: 4096, Home: home, Mon: mon}, // monitor too small
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decode parses the exporter's output back into generic maps.
+func decode(t *testing.T, raw []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("exporter wrote invalid JSON: %v\n%s", err, raw)
+	}
+	return out
+}
+
+func TestWriteChromeSlicesAndMetadata(t *testing.T) {
+	events := []Event{
+		{Time: 0, Proc: 0, Kind: KindRun, Task: "main"},
+		{Time: 5, Proc: 0, Kind: KindEnqueue, Task: "worker", Arg: 1},
+		{Time: 10, Proc: 1, Kind: KindRun, Task: "worker"},
+		{Time: 30, Proc: 1, Kind: KindDone, Task: "worker"},
+		{Time: 40, Proc: 0, Kind: KindBlock, Task: "main"},
+		{Time: 50, Proc: 1, Kind: KindSteal, Task: "late", Arg: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events, 2, "sim"); err != nil {
+		t.Fatal(err)
+	}
+	out := decode(t, buf.Bytes())
+
+	var processNames, threadNames, slices, instants int
+	var workerSlice map[string]any
+	for _, e := range out {
+		switch e["ph"] {
+		case "M":
+			switch e["name"] {
+			case "process_name":
+				processNames++
+			case "thread_name":
+				threadNames++
+			}
+		case "X":
+			slices++
+			if e["name"] == "worker" {
+				workerSlice = e
+			}
+		case "i":
+			instants++
+		}
+	}
+	if processNames != 1 || threadNames != 2 {
+		t.Errorf("metadata: %d process names, %d thread names (want 1, 2)", processNames, threadNames)
+	}
+	// main (0→40 on P0) and worker (10→30 on P1).
+	if slices != 2 {
+		t.Errorf("got %d X slices, want 2", slices)
+	}
+	if workerSlice == nil {
+		t.Fatal("no slice for task worker")
+	}
+	if ts, dur := workerSlice["ts"].(float64), workerSlice["dur"].(float64); ts != 10 || dur != 20 {
+		t.Errorf("worker slice ts=%v dur=%v, want 10, 20", ts, dur)
+	}
+	if tid := workerSlice["tid"].(float64); tid != 1 {
+		t.Errorf("worker slice tid=%v, want 1", tid)
+	}
+	// The enqueue and the steal are instants.
+	if instants != 2 {
+		t.Errorf("got %d instants, want 2", instants)
+	}
+}
+
+// TestWriteChromeClosesOpenSlices: a Run with no matching Block/Done
+// (task still executing when the trace buffer filled) must still emit a
+// slice, closed at the last event time, so the viewer shows it.
+func TestWriteChromeClosesOpenSlices(t *testing.T) {
+	events := []Event{
+		{Time: 10, Proc: 0, Kind: KindRun, Task: "forever"},
+		{Time: 90, Proc: 1, Kind: KindEnqueue, Task: "other", Arg: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events, 2, "native"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range decode(t, buf.Bytes()) {
+		if e["ph"] == "X" && e["name"] == "forever" {
+			found = true
+			if ts, dur := e["ts"].(float64), e["dur"].(float64); ts != 10 || dur != 80 {
+				t.Errorf("unclosed slice ts=%v dur=%v, want 10, 80", ts, dur)
+			}
+		}
+	}
+	if !found {
+		t.Error("unclosed Run produced no slice")
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil, 1, "sim"); err != nil {
+		t.Fatal(err)
+	}
+	out := decode(t, buf.Bytes())
+	for _, e := range out {
+		if e["ph"] != "M" {
+			t.Errorf("empty trace emitted non-metadata event %v", e)
+		}
+	}
+	if len(out) != 2 { // process_name + one thread_name
+		t.Errorf("got %d metadata events, want 2", len(out))
+	}
+}

@@ -1,0 +1,176 @@
+// Package xcheck is the differential cross-validation harness: it runs
+// every registered application on both execution backends and fails if
+// they disagree. Each (app, variant, processor-count) cell runs four
+// times — a simulator reference, a simulator run under a different steal
+// seed, and two native runs — and every run must match the reference
+// token for token (schedule-dependent tokens excepted at P>1), run the
+// same number of tasks, and keep task-affinity sets whole.
+//
+// The harness is the repo's ground-truth check that the native backend
+// implements the same scheduling semantics as the simulator: a placement
+// bug, a lost wakeup, a split set, or a dropped task shows up as a
+// mismatch in some cell. It backs `coolbench -xcheck` and the CI smoke
+// job.
+package xcheck
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	cool "github.com/coolrts/cool"
+	"github.com/coolrts/cool/internal/apps"
+)
+
+// Options configures one differential sweep.
+type Options struct {
+	// Procs lists the machine sizes to cross-check (default 1, 2, 4, 8).
+	Procs []int
+	// Small shrinks every app to a smoke-test workload.
+	Small bool
+	// Apps restricts the sweep to the named applications (default: all).
+	Apps []string
+	// Out receives one "ok"/"FAIL" line per cell (default: discard).
+	Out io.Writer
+}
+
+// smallSizes are the smoke workloads (apps constrain their own sizes:
+// blockcho needs a multiple of its 32-wide block, locusroute's size is
+// wires per region).
+var smallSizes = map[string]int{
+	"pancho":     24,
+	"ocean":      64,
+	"locusroute": 8,
+	"blockcho":   128,
+	"barneshut":  256,
+	"gauss":      64,
+}
+
+// scheduleTokens lists, per app, Verify tokens whose values legitimately
+// depend on execution order and so may differ between schedules at P>1:
+// the router's cost depends on the order wires observe each other's
+// congestion, and the linear-algebra residuals shift at rounding level
+// (~1e-15) with FP accumulation order. At P=1 both backends execute the
+// identical serial order, so every token must match exactly.
+var scheduleTokens = map[string]map[string]bool{
+	"locusroute": {"cost": true},
+	"pancho":     {"residual": true, "maxdiff": true},
+	"blockcho":   {"maxdiff": true},
+}
+
+// Run executes the sweep and returns an error describing every failed
+// cell (nil when all cells pass).
+func Run(opts Options) error {
+	procs := opts.Procs
+	if len(procs) == 0 {
+		procs = []int{1, 2, 4, 8}
+	}
+	out := opts.Out
+	if out == nil {
+		out = io.Discard
+	}
+	names := opts.Apps
+	if len(names) == 0 {
+		names = apps.Names()
+	}
+	var failures []string
+	for _, name := range names {
+		app, ok := apps.Lookup(name)
+		if !ok {
+			return fmt.Errorf("xcheck: unknown app %q (have %v)", name, apps.Names())
+		}
+		size := 0
+		if opts.Small {
+			size = smallSizes[name]
+		}
+		// The Base variant and the most optimized one bracket the
+		// scheduling-policy space; the middle variants add no new
+		// placement mechanisms.
+		variants := []string{app.Variants[0]}
+		if last := app.Variants[len(app.Variants)-1]; last != variants[0] {
+			variants = append(variants, last)
+		}
+		for _, variant := range variants {
+			for _, p := range procs {
+				cell := fmt.Sprintf("%s %s P=%d", name, variant, p)
+				if msgs := checkCell(app, variant, p, size); len(msgs) > 0 {
+					for _, m := range msgs {
+						failures = append(failures, cell+": "+m)
+					}
+					fmt.Fprintf(out, "FAIL %s: %s\n", cell, strings.Join(msgs, "; "))
+				} else {
+					fmt.Fprintf(out, "ok   %s\n", cell)
+				}
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("xcheck: %d mismatches:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// checkCell runs one (app, variant, procs) cell: a simulator reference,
+// then a seed-perturbed simulator run and two native runs, each compared
+// against the reference.
+func checkCell(app apps.App, variant string, procs, size int) []string {
+	ref, err := app.RunCfg(cool.Config{Processors: procs}, variant, size)
+	if err != nil {
+		return []string{"sim reference: " + err.Error()}
+	}
+	var msgs []string
+	if ref.Report.SetSplits != 0 {
+		msgs = append(msgs, fmt.Sprintf("sim reference: %d set splits", ref.Report.SetSplits))
+	}
+	ignore := scheduleTokens[app.Name]
+	if procs == 1 {
+		ignore = nil // serial order is identical on both backends
+	}
+	check := func(label string, res apps.Result, err error) {
+		if err != nil {
+			msgs = append(msgs, label+": "+err.Error())
+			return
+		}
+		if d := diffVerify(ref.Verify, res.Verify, ignore); d != "" {
+			msgs = append(msgs, label+": "+d)
+		}
+		if got, want := res.Report.Total.TasksRun, ref.Report.Total.TasksRun; got != want {
+			msgs = append(msgs, fmt.Sprintf("%s: ran %d tasks, reference ran %d", label, got, want))
+		}
+		if res.Report.SetSplits != 0 {
+			msgs = append(msgs, fmt.Sprintf("%s: %d set splits", label, res.Report.SetSplits))
+		}
+	}
+	// A different steal seed perturbs victim choice but must not change
+	// results beyond the declared schedule-dependent tokens.
+	res, err := app.RunCfg(cool.Config{Processors: procs, Seed: 7}, variant, size)
+	check("sim seed=7", res, err)
+	// Two native runs: real goroutine interleavings differ run to run,
+	// so one passing run is weaker evidence than two.
+	for i := 1; i <= 2; i++ {
+		res, err := app.RunCfg(cool.Config{Processors: procs, Backend: cool.BackendNative}, variant, size)
+		check(fmt.Sprintf("native run %d", i), res, err)
+	}
+	return msgs
+}
+
+// diffVerify compares two key=value Verify strings token for token,
+// skipping ignored keys; it describes the first difference, or returns
+// "" when the results are differentially identical. (Same contract as
+// the chaos harness's comparator.)
+func diffVerify(want, got string, ignore map[string]bool) string {
+	a, b := strings.Fields(want), strings.Fields(got)
+	if len(a) != len(b) {
+		return fmt.Sprintf("verify shape differs: %q vs %q", want, got)
+	}
+	for i := range a {
+		key, _, _ := strings.Cut(a[i], "=")
+		if ignore[key] {
+			continue
+		}
+		if a[i] != b[i] {
+			return fmt.Sprintf("%s: want %q, got %q", key, a[i], b[i])
+		}
+	}
+	return ""
+}

@@ -1,0 +1,44 @@
+package xcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmallSweep cross-checks every app at smoke sizes on one and two
+// processors. The full matrix (P up to 8, default sizes) runs under
+// `coolbench -xcheck` and in CI.
+func TestSmallSweep(t *testing.T) {
+	var out strings.Builder
+	if err := Run(Options{Procs: []int{1, 2}, Small: true, Out: &out}); err != nil {
+		t.Fatalf("differential sweep failed:\n%s\n%v", out.String(), err)
+	}
+	if !strings.Contains(out.String(), "ok   gauss") {
+		t.Fatalf("sweep did not cover gauss:\n%s", out.String())
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	if err := Run(Options{Apps: []string{"nope"}, Procs: []int{1}, Small: true}); err == nil {
+		t.Fatal("expected error for unknown app")
+	}
+}
+
+func TestDiffVerify(t *testing.T) {
+	cases := []struct {
+		want, got string
+		ignore    map[string]bool
+		same      bool
+	}{
+		{"checksum=1.5 tasks=10", "checksum=1.5 tasks=10", nil, true},
+		{"checksum=1.5 tasks=10", "checksum=1.6 tasks=10", nil, false},
+		{"cost=5 ok=true", "cost=9 ok=true", map[string]bool{"cost": true}, true},
+		{"cost=5 ok=true", "cost=5 ok=false", map[string]bool{"cost": true}, false},
+		{"a=1 b=2", "a=1", nil, false},
+	}
+	for i, tc := range cases {
+		if got := diffVerify(tc.want, tc.got, tc.ignore); (got == "") != tc.same {
+			t.Errorf("case %d: diff = %q, want same=%v", i, got, tc.same)
+		}
+	}
+}

@@ -79,8 +79,12 @@ type Report struct {
 	Processors int
 	BusyCycles int64 // sum over processors of cycles running tasks
 	IdleCycles int64 // sum over processors of cycles waiting for work
-	Total      Counters
-	Per        []Counters
+	// SetSplits counts task-affinity set members enqueued or stolen away
+	// from their set's home; it must be zero under the default whole-set
+	// stealing policy on either backend (see Runtime.SetSplits).
+	SetSplits int64
+	Total     Counters
+	Per       []Counters
 }
 
 // Utilization returns busy cycles as a fraction of total processor-cycles.
@@ -93,34 +97,39 @@ func (r Report) Utilization() float64 {
 }
 
 // Report captures the current performance-monitor state. Call after Run.
+// On the native backend, Cycles/BusyCycles/IdleCycles are wall-clock
+// nanoseconds (elapsed, summed task-execution time, summed parked time)
+// and the memory-system counters are zero; the runtime counters (tasks,
+// spawns, steals, locks, wakes) have the same meaning on both backends.
 func (rt *Runtime) Report() Report {
 	r := Report{
-		Cycles:     rt.eng.MaxClock(),
+		Cycles:     rt.ElapsedCycles(),
 		Processors: rt.cfg.Processors,
+		SetSplits:  rt.SetSplits(),
 		Per:        make([]Counters, rt.cfg.Processors),
 	}
 	for i := range rt.mon.Per {
 		p := rt.mon.Per[i]
 		c := Counters{
-			Refs:          p.Refs,
-			L1Hits:        p.L1Hits,
-			L2Hits:        p.L2Hits,
-			LocalMisses:   p.LocalMisses,
-			RemoteMisses:  p.RemoteMisses,
-			DirtyMisses:   p.DirtyMisses,
-			Upgrades:      p.Upgrades,
-			Invalidations: p.Invalidations,
-			Writebacks:    p.Writebacks,
-			Prefetches:    p.Prefetches,
-			PrefetchFills: p.PrefetchFills,
-			MemCycles:     p.MemCycles,
-			ComputeCycles: p.ComputeCycles,
-			TasksRun:      p.TasksRun,
-			TasksAtHome:   p.TasksAtHome,
-			Spawns:        p.Spawns,
-			StealTries:    p.StealTries,
-			StealsLocal:   p.StealsLocal,
-			StealsRemote:  p.StealsRemote,
+			Refs:           p.Refs,
+			L1Hits:         p.L1Hits,
+			L2Hits:         p.L2Hits,
+			LocalMisses:    p.LocalMisses,
+			RemoteMisses:   p.RemoteMisses,
+			DirtyMisses:    p.DirtyMisses,
+			Upgrades:       p.Upgrades,
+			Invalidations:  p.Invalidations,
+			Writebacks:     p.Writebacks,
+			Prefetches:     p.Prefetches,
+			PrefetchFills:  p.PrefetchFills,
+			MemCycles:      p.MemCycles,
+			ComputeCycles:  p.ComputeCycles,
+			TasksRun:       p.TasksRun,
+			TasksAtHome:    p.TasksAtHome,
+			Spawns:         p.Spawns,
+			StealTries:     p.StealTries,
+			StealsLocal:    p.StealsLocal,
+			StealsRemote:   p.StealsRemote,
 			SetSteals:      p.SetSteals,
 			LockBlocks:     p.LockBlocks,
 			TargetedWakes:  p.TargetedWakes,
@@ -132,6 +141,10 @@ func (rt *Runtime) Report() Report {
 		}
 		r.Per[i] = c
 		addCounters(&r.Total, c)
+	}
+	if rt.backend == BackendNative {
+		r.BusyCycles, r.IdleCycles = rt.nat.BusyIdleNanos()
+		return r
 	}
 	for _, p := range rt.eng.Procs {
 		r.BusyCycles += p.Busy

@@ -1,21 +1,33 @@
 package cool
 
-import "github.com/coolrts/cool/internal/trace"
+import (
+	"io"
+
+	"github.com/coolrts/cool/internal/trace"
+)
 
 // TraceEvent is one recorded scheduler occurrence: a task being enqueued,
 // dispatched, stolen, blocked, made ready, or completed.
 type TraceEvent struct {
-	Time int64  // simulated cycle
+	Time int64  // simulated cycle (native backend: nanoseconds since Run)
 	Proc int    // processor (-1 when the event is not bound to one)
 	Kind string // enqueue | run | steal | block | ready | done
 	Task string
 	Arg  int64 // kind-specific: target server, or victim processor for steals
 }
 
+// rawTraceEvents returns the backend's recorded events in time order.
+func (rt *Runtime) rawTraceEvents() []trace.Event {
+	if rt.backend == BackendNative {
+		return rt.nat.TraceEvents()
+	}
+	return rt.sched.Trace.Events()
+}
+
 // TraceEvents returns the recorded scheduler events (empty unless
 // Config.TraceCapacity was set). Call after Run.
 func (rt *Runtime) TraceEvents() []TraceEvent {
-	evs := rt.sched.Trace.Events()
+	evs := rt.rawTraceEvents()
 	out := make([]TraceEvent, len(evs))
 	for i, e := range evs {
 		out[i] = TraceEvent{
@@ -29,13 +41,35 @@ func (rt *Runtime) TraceEvents() []TraceEvent {
 	return out
 }
 
+// replayLog rebuilds a trace log from the native backend's merged
+// per-worker buffers, so the text renderers work on either backend.
+func (rt *Runtime) replayLog() *trace.Log {
+	if rt.backend != BackendNative {
+		return rt.sched.Trace
+	}
+	evs := rt.nat.TraceEvents()
+	l := trace.New(max(len(evs), 1))
+	for _, e := range evs {
+		l.Add(e.Time, int(e.Proc), e.Kind, e.Task, e.Arg)
+	}
+	return l
+}
+
 // TraceDump renders the recorded events as text, one per line.
-func (rt *Runtime) TraceDump() string { return rt.sched.Trace.String() }
+func (rt *Runtime) TraceDump() string { return rt.replayLog().String() }
 
 // TraceTimeline renders a per-processor utilization strip of the given
 // width over the whole run: '#' busy, '+' partially busy, '.' idle.
 func (rt *Runtime) TraceTimeline(width int) string {
-	return rt.sched.Trace.Timeline(rt.cfg.Processors, rt.eng.MaxClock(), width)
+	return rt.replayLog().Timeline(rt.cfg.Processors, rt.ElapsedCycles(), width)
+}
+
+// WriteChromeTrace writes the recorded events as Chrome trace_event JSON
+// (load the file in Perfetto or chrome://tracing). Works on both
+// backends; on the simulator one "microsecond" of the viewer timeline is
+// one simulated cycle. Call after Run.
+func (rt *Runtime) WriteChromeTrace(w io.Writer) error {
+	return trace.WriteChrome(w, rt.rawTraceEvents(), rt.cfg.Processors, string(rt.backend.String()))
 }
 
 // enable wires a trace log of the given capacity into the scheduler.
