@@ -43,6 +43,11 @@ var (
 )
 
 func main() {
+	// The native scalability benchmark suite (see bench_native_sweep.go);
+	// dispatched ahead of the -bench prefix it shares.
+	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench-native") {
+		os.Exit(benchNativeMain(os.Args[1:]))
+	}
 	// The benchmark regression harness has its own flag set (see
 	// bench.go) and short-circuits the experiment machinery.
 	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench") {
@@ -61,7 +66,19 @@ func main() {
 		os.Exit(traceMain(os.Args[1:]))
 	}
 	exp := flag.String("exp", "all", "experiment id (see command doc)")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	mutexProf := flag.String("mutexprofile", "", "write a mutex-contention profile of the run to this file")
 	flag.Parse()
+	stopProfiles, err := startProfiles(*cpuProf, *mutexProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coolbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "coolbench: %v\n", err)
+		}
+	}()
 
 	runners := map[string]func() error{
 		"ocean":      func() error { return speedupFigure("F6  Ocean speedup (paper §6.1)", "ocean") },

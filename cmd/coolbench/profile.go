@@ -1,0 +1,53 @@
+// Profiling support shared by the coolbench modes: -cpuprofile and
+// -mutexprofile make contention on the native backend's sharded
+// placement locks directly observable with `go tool pprof`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles arms the requested profiles and returns a stop function
+// that flushes them. Either path may be empty; stop is always non-nil.
+// Mutex profiling samples every contention event (fraction 1) so even
+// short smoke runs surface the hot locks.
+func startProfiles(cpuPath, mutexPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	var prevMutexFraction int
+	if mutexPath != "" {
+		prevMutexFraction = runtime.SetMutexProfileFraction(1)
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if mutexPath != "" {
+			runtime.SetMutexProfileFraction(prevMutexFraction)
+			f, err := os.Create(mutexPath)
+			if err != nil {
+				return fmt.Errorf("-mutexprofile: %w", err)
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("-mutexprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -3,7 +3,7 @@
 // goroutine backend at a range of machine sizes, and the results must
 // agree (see internal/xcheck for the exact comparison contract).
 //
-//	coolbench -xcheck                             full matrix, P=1,2,4,8
+//	coolbench -xcheck                             full matrix, P=1,2,4,8,16
 //	coolbench -xcheck -xcheck-procs 1,2,4         subset of machine sizes
 //	coolbench -xcheck -xcheck-apps gauss,ocean    subset of apps
 //	coolbench -xcheck -xcheck-small               reduced workloads (CI)
@@ -22,7 +22,7 @@ import (
 func xcheckMain(args []string) int {
 	fs := flag.NewFlagSet("coolbench -xcheck", flag.ExitOnError)
 	_ = fs.Bool("xcheck", true, "backend differential mode (this flag)")
-	procsFlag := fs.String("xcheck-procs", "1,2,4,8", "comma-separated processor counts")
+	procsFlag := fs.String("xcheck-procs", "1,2,4,8,16", "comma-separated processor counts")
 	appsFlag := fs.String("xcheck-apps", "", "comma-separated app subset (default: all registered)")
 	small := fs.Bool("xcheck-small", false, "use reduced workload sizes (CI smoke)")
 	if err := fs.Parse(args); err != nil {

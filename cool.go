@@ -336,7 +336,14 @@ func newNativeRuntime(c Config, mc machine.Config, pol core.Policy) (*Runtime, e
 			defer rt.spaceMu.RUnlock()
 			return rt.space.HomeProc(addr)
 		},
-		Mon:           rt.mon,
+		Mon: rt.mon,
+		// One adapter shared by every spawn: the user's func value rides
+		// through the task record as the payload (an allocation-free
+		// interface conversion for func types), replacing the per-spawn
+		// wrapper closure the facade used to allocate.
+		Invoke: func(nc *native.Ctx, p any) {
+			p.(func(*Ctx))(&Ctx{nc: nc, rt: rt})
+		},
 		TraceCapacity: c.TraceCapacity,
 	})
 	if err != nil {

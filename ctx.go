@@ -88,36 +88,74 @@ type sizedObj struct {
 }
 
 // SpawnOpt is an affinity hint or execution option for Spawn, mirroring
-// the affinity declarations of Table 1 in the paper.
-type SpawnOpt func(*spawnOptions)
+// the affinity declarations of Table 1 in the paper. It is a small value
+// (not a closure), so building options at a spawn site costs no heap
+// allocation — spawning is the native backend's hottest path.
+type SpawnOpt struct {
+	kind  optKind
+	addr  int64
+	size  int64
+	proc  int
+	mutex *Monitor
+}
 
-// OnObject declares simple affinity: the task wants cache and memory
-// locality on the object at addr (also the "default affinity" a COOL
-// parallel function has for its base object).
-func OnObject(addr int64) SpawnOpt {
-	return func(o *spawnOptions) {
-		o.aff.TaskObj = addr
+type optKind uint8
+
+const (
+	optOnObject optKind = iota + 1
+	optTaskAffinity
+	optObjectSized
+	optOnProcessor
+	optWithMutex
+)
+
+// apply folds one option into the accumulated spawn specification.
+func (op SpawnOpt) apply(o *spawnOptions) {
+	switch op.kind {
+	case optOnObject:
+		o.aff.TaskObj = op.addr
 		switch o.aff.Kind {
 		case core.AffNone:
 			o.aff.Kind = core.AffSimple
 		case core.AffObject:
 			o.aff.Kind = core.AffTaskObject
 		}
-	}
-}
-
-// TaskAffinity declares affinity(obj, TASK): tasks naming the same object
-// form a task-affinity set executed back to back for cache reuse.
-func TaskAffinity(addr int64) SpawnOpt {
-	return func(o *spawnOptions) {
-		o.aff.TaskObj = addr
+	case optTaskAffinity:
+		o.aff.TaskObj = op.addr
 		switch o.aff.Kind {
 		case core.AffNone, core.AffSimple:
 			o.aff.Kind = core.AffTask
 		case core.AffObject, core.AffTaskObject:
 			o.aff.Kind = core.AffTaskObject
 		}
+	case optObjectSized:
+		o.objs = append(o.objs, sizedObj{addr: op.addr, size: op.size})
+		o.aff.ObjectObj = op.addr
+		switch o.aff.Kind {
+		case core.AffNone, core.AffSimple:
+			o.aff.Kind = core.AffObject
+		case core.AffTask:
+			o.aff.Kind = core.AffTaskObject
+		}
+	case optOnProcessor:
+		o.aff.Kind = core.AffProcessor
+		o.aff.Processor = op.proc
+	case optWithMutex:
+		o.mutex = op.mutex
 	}
+}
+
+// OnObject declares simple affinity: the task wants cache and memory
+// locality on the object at addr (also the "default affinity" a COOL
+// parallel function has for its base object).
+func OnObject(addr int64) SpawnOpt {
+	return SpawnOpt{kind: optOnObject, addr: addr}
+}
+
+// TaskAffinity declares affinity(obj, TASK): tasks naming the same object
+// form a task-affinity set executed back to back for cache reuse.
+func TaskAffinity(addr int64) SpawnOpt {
+	return SpawnOpt{kind: optTaskAffinity, addr: addr}
 }
 
 // ObjectAffinity declares affinity(obj, OBJECT): the task is collocated
@@ -132,32 +170,20 @@ func ObjectAffinity(addr int64) SpawnOpt {
 // objects as the task starts — the multiple-object heuristic the paper
 // proposes in §4.1.
 func ObjectAffinitySized(addr, size int64) SpawnOpt {
-	return func(o *spawnOptions) {
-		o.objs = append(o.objs, sizedObj{addr: addr, size: size})
-		o.aff.ObjectObj = addr
-		switch o.aff.Kind {
-		case core.AffNone, core.AffSimple:
-			o.aff.Kind = core.AffObject
-		case core.AffTask:
-			o.aff.Kind = core.AffTaskObject
-		}
-	}
+	return SpawnOpt{kind: optObjectSized, addr: addr, size: size}
 }
 
 // OnProcessor declares affinity(n, PROCESSOR): schedule the task directly
 // on server n modulo the number of processors.
 func OnProcessor(n int) SpawnOpt {
-	return func(o *spawnOptions) {
-		o.aff.Kind = core.AffProcessor
-		o.aff.Processor = n
-	}
+	return SpawnOpt{kind: optOnProcessor, proc: n}
 }
 
 // WithMutex makes the spawned task a COOL mutex function: it acquires the
 // monitor before its body runs and releases it after, serializing with
 // other mutex tasks on the same object.
 func WithMutex(m *Monitor) SpawnOpt {
-	return func(o *spawnOptions) { o.mutex = m }
+	return SpawnOpt{kind: optWithMutex, mutex: m}
 }
 
 // Spawn creates a task executing fn. With no options the task has no
@@ -173,7 +199,7 @@ func (c *Ctx) Spawn(name string, fn func(*Ctx), opts ...SpawnOpt) {
 	c.sc.SyncPoint()
 	var o spawnOptions
 	for _, opt := range opts {
-		opt(&o)
+		opt.apply(&o)
 	}
 	p := c.ProcID()
 	rt := c.rt
@@ -241,7 +267,7 @@ func (c *Ctx) Spawn(name string, fn func(*Ctx), opts ...SpawnOpt) {
 func (c *Ctx) spawnNative(name string, fn func(*Ctx), opts []SpawnOpt) {
 	var o spawnOptions
 	for _, opt := range opts {
-		opt(&o)
+		opt.apply(&o)
 	}
 	rt := c.rt
 	if len(o.objs) > 1 {
@@ -251,9 +277,7 @@ func (c *Ctx) spawnNative(name string, fn func(*Ctx), opts []SpawnOpt) {
 	if o.mutex != nil {
 		nm = &o.mutex.nm
 	}
-	c.nc.Spawn(name, o.aff, nm, func(nc *native.Ctx) {
-		fn(&Ctx{nc: nc, rt: rt})
-	})
+	c.nc.SpawnPayload(name, o.aff, nm, fn)
 }
 
 // homeServer returns the server treated as the home processor of the

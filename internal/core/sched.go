@@ -490,6 +490,7 @@ func (s *Scheduler) stealScan(p *sim.Proc, thief *server, ring []int) *TaskDesc 
 		}
 		td := s.stealFrom(v, thief, p.ID)
 		if td == nil {
+			ctr.FailedSteals++
 			continue
 		}
 		if local {

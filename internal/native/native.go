@@ -49,6 +49,14 @@ type Config struct {
 	// row, so the shared monitor needs no locking. Required.
 	Mon *perfmon.Monitor
 
+	// Invoke runs a payload-carrying task (one spawned with SpawnPayload).
+	// The embedding runtime supplies a single adapter here once instead of
+	// wrapping every spawned function in a fresh closure — the payload
+	// travels through the task record as an `any`, which for func values
+	// is an allocation-free conversion. Required only if SpawnPayload is
+	// used.
+	Invoke func(*Ctx, any)
+
 	// TraceCapacity, when positive, bounds the merged scheduler event
 	// trace (timestamps are wall-clock nanoseconds since Run).
 	TraceCapacity int
@@ -71,14 +79,20 @@ func (f *TaskFailure) Error() string {
 // task is one spawned task record. Records are pooled: a completed task
 // is zeroed and reused by a later spawn.
 type task struct {
-	name   string
-	fn     func(*Ctx)
-	class  core.Class
-	server int
-	slot   int   // task-affinity queue index, -1 for the plain queue
-	affObj int64 // address identifying the task-affinity set (0 if none)
-	scope  *scope
-	mon    *Monitor // mutex-function monitor, locked around fn
+	name    string
+	fn      func(*Ctx) // nil for payload tasks, run through Config.Invoke
+	payload any
+	class   core.Class
+	server  int
+	slot    int   // task-affinity queue index, -1 for the plain queue
+	affObj  int64 // address identifying the task-affinity set (0 if none)
+	scope   *scope
+	mon     *Monitor // mutex-function monitor, locked around fn
+
+	// ctx is the execution context handed to the task body, embedded in
+	// the pooled record so running a task allocates nothing. It is valid
+	// only while the task executes on its worker.
+	ctx Ctx
 
 	// Intrusive queue links.
 	next, prev *task
@@ -97,7 +111,21 @@ type worker struct {
 	cur      *taskQueue // slot being drained back to back
 	queued   atomic.Int64
 
-	wake chan struct{} // cap 1; parking/wakeup token
+	// stealable counts the queued tasks any thief may take outright
+	// (plain tasks and task-affinity set members — not processor-pinned
+	// or object-bound tasks, which are stealable only from a backlogged
+	// victim). A thief reads it lock-free to skip victims where a probe
+	// is guaranteed to fail: queued == 1 and stealable == 0 means the one
+	// task is pinned or object-bound, which no steal rule takes from a
+	// non-backlogged victim.
+	stealable atomic.Int64
+
+	// setScratch batches the members of a set being moved by stealSet,
+	// reused across steals to keep the move allocation-free.
+	setScratch []*task
+
+	wake  chan struct{} // cap 1; parking/wakeup token
+	timer *time.Timer   // reused across timed parks; nil until first use
 
 	busyNS, idleNS int64
 	events         []trace.Event
@@ -115,12 +143,18 @@ type Runtime struct {
 	ringRemote  [][]int
 	ringFlat    [][]int
 
-	// placeMu guards the task-affinity set table and every operation
-	// that must be atomic with respect to it: placing a set member,
-	// inserting it, and moving a whole set to a thief. This is what
-	// keeps "sets never split" an invariant rather than a tendency.
-	placeMu sync.Mutex
-	setHome map[int64]int
+	// shards is the task-affinity set table, split across numSetShards
+	// locks so set placement and whole-set steals of unrelated sets
+	// never serialize on each other. Together with the per-worker queue
+	// mutexes this replaces the old global placement lock: an owner-local
+	// push or pop takes exactly one lock (its own), a set placement takes
+	// the home worker's lock plus one shard, and a steal takes the two
+	// worker locks involved (in ascending id order) plus at most one
+	// shard. "Sets never split" stays an invariant because every insert
+	// of a set member revalidates the set's home under its shard lock,
+	// and every whole-set move re-homes the set under that same lock
+	// while holding the victim's queue lock.
+	shards []setShard
 
 	rr          atomic.Int64 // round-robin cursor (Base mode, set spread)
 	queuedTotal atomic.Int64
@@ -161,10 +195,13 @@ func New(cfg Config) (*Runtime, error) {
 		pol.QueueArraySize = 64
 	}
 	rt := &Runtime{
-		cfg:     cfg,
-		pol:     pol,
-		setHome: make(map[int64]int),
-		done:    make(chan struct{}),
+		cfg:    cfg,
+		pol:    pol,
+		shards: make([]setShard, numSetShards),
+		done:   make(chan struct{}),
+	}
+	for i := range rt.shards {
+		rt.shards[i].home = make(map[int64]int)
 	}
 	rt.clusterOnly.Store(pol.ClusterStealingOnly)
 	rt.pool.New = func() any { return new(task) }
@@ -315,13 +352,36 @@ func (rt *Runtime) recordFailure(f *TaskFailure) {
 // parkRetryLimit is how many consecutive failed takes re-probe
 // immediately while work is queued somewhere; past it the worker
 // concludes the queued work is work it may not take (pinned heads,
-// reluctantly-stolen object-bound tasks) and backs off for
-// stallBackoff instead of spinning on the placement lock — spinning
-// would slow the very workers running those tasks.
+// reluctantly-stolen object-bound tasks) and backs off exponentially
+// instead of spinning on the victims' queue locks — spinning would
+// slow the very workers running those tasks.
 const (
 	parkRetryLimit = 4
-	stallBackoff   = 100 * time.Microsecond
+	backoffBase    = 20 * time.Microsecond
+	backoffCap     = time.Millisecond
 )
+
+// stallBackoff returns the timed-park duration for the given
+// consecutive-miss count: the first timed park (misses ==
+// parkRetryLimit) waits backoffBase, each further miss doubles it, and
+// the wait saturates at backoffCap. Short first waits keep the reaction
+// time to freshly stealable work low; the exponential cap keeps a
+// worker staring at genuinely untakeable work from burning the cores
+// running it.
+func stallBackoff(misses int) time.Duration {
+	k := misses - parkRetryLimit
+	switch {
+	case k < 0:
+		k = 0
+	case k >= 6: // backoffBase<<6 already exceeds the cap
+		return backoffCap
+	}
+	d := backoffBase << uint(k)
+	if d > backoffCap {
+		return backoffCap
+	}
+	return d
+}
 
 // loop is one worker's scheduling loop: local queues, stealing, parking.
 func (rt *Runtime) loop(w *worker) {
@@ -344,8 +404,8 @@ func (rt *Runtime) loop(w *worker) {
 
 // park publishes the worker as idle, rechecks for work (closing the
 // publish/recheck race against enqueuers), and sleeps until woken — or,
-// when unstealable work is backlogged elsewhere, for at most
-// stallBackoff.
+// when unstealable work is backlogged elsewhere, for an exponentially
+// growing backoff.
 func (rt *Runtime) park(w *worker, misses int) {
 	rt.setParked(w.id, true)
 	defer rt.setParked(w.id, false)
@@ -355,11 +415,7 @@ func (rt *Runtime) park(w *worker, misses int) {
 	}
 	start := time.Now()
 	if queued {
-		select {
-		case <-w.wake:
-		case <-rt.done:
-		case <-time.After(stallBackoff):
-		}
+		rt.timedPark(w, stallBackoff(misses))
 	} else {
 		select {
 		case <-w.wake:
@@ -367,6 +423,27 @@ func (rt *Runtime) park(w *worker, misses int) {
 		}
 	}
 	w.idleNS += time.Since(start).Nanoseconds()
+}
+
+// timedPark sleeps until a wake token, shutdown, or the deadline d,
+// reusing the worker's timer — a fresh time.After channel per park
+// would allocate on what is a hot path for stalled workers.
+func (rt *Runtime) timedPark(w *worker, d time.Duration) {
+	if w.timer == nil {
+		w.timer = time.NewTimer(d)
+	} else {
+		w.timer.Reset(d)
+	}
+	fired := false
+	select {
+	case <-w.wake:
+	case <-rt.done:
+	case <-w.timer.C:
+		fired = true
+	}
+	if !fired && !w.timer.Stop() {
+		<-w.timer.C // the timer fired anyway; drain for the next Reset
+	}
 }
 
 func (rt *Runtime) setParked(id int, on bool) {
@@ -400,8 +477,17 @@ func (rt *Runtime) wakeWorker(i int) {
 // are attributed to the enqueueing worker's row (the simulator charges
 // the target server; totals remain comparable, attribution is
 // documented in DESIGN.md §9).
+//
+// A wake token is deposited only for workers whose parked bit is set.
+// This cannot lose a wakeup: a parking worker publishes its bit before
+// re-reading the queue count, and an enqueuer bumps the queue count
+// before reading the mask (both are sequentially consistent atomics) —
+// so either the parker sees the new work and returns, or the enqueuer
+// sees the parker's bit and wakes it.
 func (rt *Runtime) wakeAfterEnqueue(target, from int) {
-	rt.wakeWorker(target)
+	if rt.parked.Load()&(1<<uint(target)) != 0 {
+		rt.wakeWorker(target)
+	}
 	if rt.pol.DisableStealing {
 		return
 	}
@@ -430,7 +516,7 @@ func (rt *Runtime) wakeAfterEnqueue(target, from int) {
 
 // place resolves an affinity specification against Table 1's semantics,
 // filling the task's placement fields. Task-affinity sets are resolved
-// and inserted under placeMu by the caller.
+// and inserted by placeSet, under their set-table shard.
 func (rt *Runtime) place(t *task, a core.Affinity, spawner int) {
 	p := rt.cfg.Procs
 	if rt.pol.IgnoreHints {
@@ -459,34 +545,76 @@ func (rt *Runtime) place(t *task, a core.Affinity, spawner int) {
 	}
 }
 
+// lockWorker acquires w's queue mutex, counting a missed TryLock fast
+// path against the acting worker's row (actor is the id of the worker
+// whose goroutine is running — each row is still written only by its
+// own goroutine).
+func (rt *Runtime) lockWorker(w *worker, actor int) {
+	if w.mu.TryLock() {
+		return
+	}
+	rt.cfg.Mon.Per[actor].LockContention++
+	w.mu.Lock()
+}
+
 // placeSet places and inserts one task-affinity set member, returning
-// the server it went to. Lookup, insertion, and the split check run
-// under placeMu so a concurrent whole-set steal can never interleave
-// between placement and enqueue.
-func (rt *Runtime) placeSet(t *task, obj int64) int {
+// the server it went to. The set's home is resolved under its shard
+// lock; while that lock is held no whole-set steal can re-home the set,
+// so if the home worker's lock can be grabbed without blocking
+// (TryLock — which cannot deadlock even against the worker-before-shard
+// global order, because it never waits) the insert completes in one
+// shard acquisition. Otherwise the placement falls back to a retry
+// loop that takes the locks in the global order (worker, then shard)
+// and revalidates the home: if a concurrent whole-set steal re-homed
+// the set in between, the placement chases the new home instead of
+// splitting the set.
+func (rt *Runtime) placeSet(t *task, obj int64, actor int) int {
 	t.class, t.slot, t.affObj = core.ClassTaskSet, rt.slotOf(obj), obj
-	rt.placeMu.Lock()
-	sv, ok := rt.setHome[obj]
+	sh := rt.shardOf(obj)
+	ctr := &rt.cfg.Mon.Per[actor]
+	sh.lock(ctr)
+	sv, ok := sh.home[obj]
 	if !ok {
 		if rt.pol.PlaceSetsLeastLoaded {
 			sv = rt.leastLoaded()
 		} else {
 			sv = int(rt.rr.Add(1)-1) % rt.cfg.Procs
 		}
-		rt.setHome[obj] = sv
+		sh.home[obj] = sv
 	}
-	t.server = sv
-	if rt.setHome[obj] != t.server {
-		rt.setSplits.Add(1)
+	if w := rt.workers[sv]; w.mu.TryLock() {
+		t.server = sv
+		rt.pushLocked(w, t)
+		w.mu.Unlock()
+		sh.mu.Unlock()
+		rt.queuedTotal.Add(1)
+		return sv
 	}
-	rt.insert(t)
-	rt.placeMu.Unlock()
-	return sv
+	ctr.LockContention++
+	sh.mu.Unlock()
+	for {
+		w := rt.workers[sv]
+		rt.lockWorker(w, actor)
+		sh.lock(ctr)
+		if sh.home[obj] == sv {
+			t.server = sv
+			rt.pushLocked(w, t)
+			sh.mu.Unlock()
+			w.mu.Unlock()
+			rt.queuedTotal.Add(1)
+			return sv
+		}
+		// A concurrent whole-set steal moved the set between the home
+		// lookup and the insert; chase the new home.
+		sv = sh.home[obj]
+		sh.mu.Unlock()
+		w.mu.Unlock()
+	}
 }
 
 // leastLoaded returns the worker with the fewest queued tasks (ties to
-// the lowest id). Called under placeMu; the per-worker counts are
-// atomics, so the scan is a consistent-enough snapshot.
+// the lowest id). The per-worker counts are atomics, so the lock-free
+// scan is a consistent-enough snapshot for a load-balancing heuristic.
 func (rt *Runtime) leastLoaded() int {
 	best, bestQ := 0, int64(1)<<62
 	for i, w := range rt.workers {
@@ -497,10 +625,9 @@ func (rt *Runtime) leastLoaded() int {
 	return best
 }
 
-// insert pushes t onto its server's queues (taking that worker's lock).
-func (rt *Runtime) insert(t *task) {
-	w := rt.workers[t.server]
-	w.mu.Lock()
+// pushLocked adds t to w's queues. Called with w.mu held; the caller
+// accounts queuedTotal after releasing the lock.
+func (rt *Runtime) pushLocked(w *worker, t *task) {
 	if t.slot >= 0 {
 		q := &w.slots[t.slot]
 		q.push(t)
@@ -509,6 +636,18 @@ func (rt *Runtime) insert(t *task) {
 		w.plain.push(t)
 	}
 	w.queued.Add(1)
+	if t.class == core.ClassPlain || t.class == core.ClassTaskSet {
+		w.stealable.Add(1)
+	}
+}
+
+// insert pushes t onto its server's queues (taking that worker's lock
+// and no other — the owner-local and cross-worker paths are the same
+// single acquisition).
+func (rt *Runtime) insert(t *task, actor int) {
+	w := rt.workers[t.server]
+	rt.lockWorker(w, actor)
+	rt.pushLocked(w, t)
 	w.mu.Unlock()
 	rt.queuedTotal.Add(1)
 }
@@ -519,39 +658,56 @@ func (rt *Runtime) insert(t *task) {
 // the record.
 func (rt *Runtime) insertAndWake(t *task, from int) {
 	name, server := t.name, t.server
-	rt.insert(t)
+	rt.insert(t, from)
 	rt.trace(rt.workers[from], trace.KindEnqueue, -1, name, int64(server))
 	rt.wakeAfterEnqueue(server, from)
 }
 
-// spawn creates, places, and enqueues one task on behalf of ctx.
-func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn func(*Ctx)) {
+// spawn creates, places, and enqueues one task on behalf of ctx. Exactly
+// one of fn and payload is non-nil; payload tasks run through
+// Config.Invoke.
+//
+// The scope and live counters are bumped only after placement succeeds:
+// place runs the user-supplied Home callback, and if that panics (e.g.
+// the address lies outside the embedding runtime's space) the counters
+// must not charge a task that was never enqueued — a leaked live count
+// would keep done from ever closing and hang Run instead of returning
+// the recorded failure.
+func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn func(*Ctx), payload any) {
 	from := c.w.id
 	rt.cfg.Mon.Per[from].Spawns++
 	t := rt.newTask()
-	t.name, t.fn, t.mon = name, fn, mon
+	t.name, t.fn, t.payload, t.mon = name, fn, payload, mon
 	t.scope = c.scope
-	if t.scope != nil {
-		t.scope.n.Add(1)
-	}
-	rt.live.Add(1)
 	if !rt.pol.IgnoreHints && a.Kind == core.AffTask {
-		server := rt.placeSet(t, a.TaskObj) // t is published after this
+		if t.scope != nil {
+			t.scope.n.Add(1)
+		}
+		rt.live.Add(1)
+		server := rt.placeSet(t, a.TaskObj, from) // t is published after this
 		rt.trace(c.w, trace.KindEnqueue, -1, name, int64(server))
 		rt.wakeAfterEnqueue(server, from)
 		return
 	}
-	rt.place(t, a, from)
+	rt.place(t, a, from) // may panic in cfg.Home; no accounting yet
+	if t.scope != nil {
+		t.scope.n.Add(1)
+	}
+	rt.live.Add(1)
 	rt.insertAndWake(t, from)
 }
 
 // take removes the next task for w: local queues first, then stealing.
+// The owner-local fast path touches only w's own lock — and skips even
+// that when the atomic queued count already reads empty.
 func (rt *Runtime) take(w *worker) *task {
-	w.mu.Lock()
-	t := rt.takeLocal(w)
-	w.mu.Unlock()
-	if t != nil {
-		return t
+	if w.queued.Load() > 0 {
+		rt.lockWorker(w, w.id)
+		t := rt.takeLocal(w)
+		w.mu.Unlock()
+		if t != nil {
+			return t
+		}
 	}
 	return rt.steal(w)
 }
@@ -564,6 +720,7 @@ func (rt *Runtime) takeLocal(w *worker) *task {
 		t := w.cur.pop()
 		rt.afterSlotPop(w, w.cur)
 		rt.noteDequeued(w, 1)
+		rt.noteRemoved(w, t)
 		return t
 	}
 	w.cur = nil
@@ -574,10 +731,12 @@ func (rt *Runtime) takeLocal(w *worker) *task {
 			w.cur = q
 		}
 		rt.noteDequeued(w, 1)
+		rt.noteRemoved(w, t)
 		return t
 	}
 	if t := w.plain.pop(); t != nil {
 		rt.noteDequeued(w, 1)
+		rt.noteRemoved(w, t)
 		return t
 	}
 	return nil
@@ -598,15 +757,23 @@ func (rt *Runtime) noteDequeued(w *worker, n int) {
 	rt.queuedTotal.Add(int64(-n))
 }
 
-// steal scans victims for work under placeMu (which serializes steals
-// and keeps whole-set moves atomic with respect to set placement),
-// preferring same-cluster victims when the policy asks for it.
+// noteRemoved maintains w's stealable hint for one removed task (w.mu
+// held; pairs with the increment in pushLocked).
+func (rt *Runtime) noteRemoved(w *worker, t *task) {
+	if t.class == core.ClassPlain || t.class == core.ClassTaskSet {
+		w.stealable.Add(-1)
+	}
+}
+
+// steal scans victims for work, preferring same-cluster victims when
+// the policy asks for it. There is no global steal lock: concurrent
+// thieves probing different victims proceed in parallel, and each probe
+// synchronizes only with the two workers and (for a set move) the one
+// set-table shard involved.
 func (rt *Runtime) steal(w *worker) *task {
 	if rt.pol.DisableStealing || rt.queuedTotal.Load() == 0 {
 		return nil
 	}
-	rt.placeMu.Lock()
-	defer rt.placeMu.Unlock()
 	clusterOnly := rt.clusterOnly.Load()
 	if rt.pol.ClusterStealFirst || clusterOnly {
 		if t := rt.stealScan(w, rt.ringCluster[w.id]); t != nil {
@@ -620,17 +787,27 @@ func (rt *Runtime) steal(w *worker) *task {
 	return rt.stealScan(w, rt.ringFlat[w.id])
 }
 
-// stealScan probes one victim ring in order.
+// stealScan probes one victim ring in order. A probe that examined a
+// victim and came back empty-handed — the victim drained meanwhile, or
+// holds only work the steal rules refuse — counts as a failed steal.
 func (rt *Runtime) stealScan(w *worker, ring []int) *task {
 	ctr := &rt.cfg.Mon.Per[w.id]
 	for _, vid := range ring {
 		v := rt.workers[vid]
-		if v.queued.Load() == 0 {
+		q := v.queued.Load()
+		if q == 0 {
+			continue
+		}
+		if q < 2 && v.stealable.Load() == 0 {
+			// The victim's one queued task is pinned or object-bound;
+			// every steal rule refuses it from a non-backlogged victim,
+			// so the probe (and its lock) would be wasted.
 			continue
 		}
 		ctr.StealTries++
 		t := rt.stealFrom(v, w)
 		if t == nil {
+			ctr.FailedSteals++
 			continue
 		}
 		if rt.sameCluster(w.id, vid) {
@@ -646,57 +823,23 @@ func (rt *Runtime) stealScan(w *worker, ring []int) *task {
 
 // stealFrom takes work from victim v for thief w, with the paper's
 // preference order: a whole task-affinity set, a plain task, and finally
-// (reluctantly) one object-bound task from a backlogged victim. Called
-// under placeMu.
+// (reluctantly) one object-bound task from a backlogged victim.
+//
+// Locking: a probe holds only the victim's queue lock — single-task
+// steals hand the task straight to the thief's goroutine, so the
+// thief's own queues are never touched and the common case (including
+// every failed probe) costs exactly one lock. Only a whole-set move
+// adds the thief's lock (stealSet, in ascending global id order — the
+// deadlock-avoidance protocol every two-worker path follows) plus the
+// one set-table shard involved.
 func (rt *Runtime) stealFrom(v, w *worker) *task {
-	// A whole task-affinity set (ClassTaskSet at the head of some slot):
-	// drain every member under the victim's lock, re-home the set, and
-	// push the rest onto the thief's matching slot for back-to-back
-	// servicing.
+	rt.lockWorker(v, w.id)
+	defer v.mu.Unlock()
 	if rt.pol.StealWholeSets {
-		v.mu.Lock()
-		var moved []*task
-		for q := v.nonEmpty.head; q != nil; q = q.nextQ {
-			head := q.head
-			if head == nil || head.class != core.ClassTaskSet {
-				continue
-			}
-			obj := head.affObj
-			for {
-				t := q.popMatching(obj)
-				if t == nil {
-					break
-				}
-				moved = append(moved, t)
-			}
-			rt.afterSlotPop(v, q)
-			rt.noteDequeued(v, len(moved))
-			rt.setHome[obj] = w.id
-			break
-		}
-		v.mu.Unlock()
-		if len(moved) > 0 {
-			first := moved[0]
-			first.server = w.id
-			if len(moved) > 1 {
-				w.mu.Lock()
-				for _, t := range moved[1:] {
-					t.server = w.id
-					tq := &w.slots[t.slot]
-					tq.push(t)
-					w.nonEmpty.add(tq)
-				}
-				w.queued.Add(int64(len(moved) - 1))
-				w.cur = &w.slots[first.slot]
-				w.mu.Unlock()
-				rt.queuedTotal.Add(int64(len(moved) - 1))
-			}
-			rt.cfg.Mon.Per[w.id].SetSteals++
-			return first
+		if t := rt.stealSet(v, w); t != nil {
+			return t
 		}
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	// A plain or processor-affinity task: scan past pinned tasks, taking
 	// a pinned head only from a backlogged victim.
 	for t := v.plain.head; t != nil; t = t.next {
@@ -705,11 +848,13 @@ func (rt *Runtime) stealFrom(v, w *worker) *task {
 		}
 		v.plain.remove(t)
 		rt.noteDequeued(v, 1)
+		rt.noteRemoved(v, t)
 		return t
 	}
 	if t := v.plain.head; t != nil && v.queued.Load() >= 2 {
 		v.plain.remove(t)
 		rt.noteDequeued(v, 1)
+		rt.noteRemoved(v, t)
 		return t
 	}
 	// Last resort: one object-bound (or task-set, if set stealing is
@@ -722,14 +867,110 @@ func (rt *Runtime) stealFrom(v, w *worker) *task {
 		if head.class == core.ClassObjectBound && (!rt.pol.StealObjectBound || v.queued.Load() < 2) {
 			continue
 		}
-		if head.class == core.ClassTaskSet && rt.pol.StealWholeSets {
-			// Would split a set the whole-set pass chose not to move.
-			continue
+		if head.class == core.ClassTaskSet {
+			if rt.pol.StealWholeSets {
+				// Would split a set the whole-set pass chose not to move.
+				continue
+			}
+			// Set stealing is off and the policy fell back to taking one
+			// member: a deliberate split, counted like the simulator's.
+			rt.setSplits.Add(1)
 		}
 		q.remove(head)
 		rt.afterSlotPop(v, q)
 		rt.noteDequeued(v, 1)
+		rt.noteRemoved(v, head)
 		return head
+	}
+	return nil
+}
+
+// stealSet moves one whole task-affinity set from v to thief w: drain
+// every member, re-home the set under its shard lock, keep the head for
+// the thief to run and queue the rest behind it for back-to-back
+// servicing. Called with v.mu held; returns with v.mu still held.
+//
+// The move needs both worker locks plus the set's shard. A cheap peek
+// under v.mu alone rejects the common no-set-queued case before the
+// thief's lock is ever taken. Acquiring w.mu second is in order when
+// v.id < w.id; out of order it is tried without blocking (TryLock
+// cannot deadlock), and on failure both locks are dropped and retaken
+// in ascending id order — after which the peek is stale and the scan
+// below revalidates everything from scratch.
+func (rt *Runtime) stealSet(v, w *worker) *task {
+	found := false
+	for q := v.nonEmpty.head; q != nil; q = q.nextQ {
+		if h := q.head; h != nil && h.class == core.ClassTaskSet {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	ctr := &rt.cfg.Mon.Per[w.id]
+	if v.id < w.id {
+		rt.lockWorker(w, w.id)
+	} else if !w.mu.TryLock() {
+		ctr.LockContention++
+		v.mu.Unlock()
+		rt.lockWorker(w, w.id)
+		rt.lockWorker(v, w.id)
+	}
+	defer w.mu.Unlock()
+	for q := v.nonEmpty.head; q != nil; q = q.nextQ {
+		head := q.head
+		if head == nil || head.class != core.ClassTaskSet {
+			continue
+		}
+		obj := head.affObj
+		sh := rt.shardOf(obj)
+		sh.lock(ctr)
+		// Queued membership at v implies the shard records v as the
+		// set's home (inserts validate under the shard lock, moves
+		// drain the victim before releasing it); assert rather than
+		// assume — a violation would be a split in the making.
+		if sh.home[obj] != v.id {
+			rt.setSplits.Add(1)
+		}
+		sh.home[obj] = w.id
+		moved := w.setScratch[:0]
+		for {
+			t := q.popMatching(obj)
+			if t == nil {
+				break
+			}
+			moved = append(moved, t)
+		}
+		rt.afterSlotPop(v, q)
+		rt.noteDequeued(v, len(moved))
+		// popMatching matches by object, so the move can carry
+		// object-bound tasks naming the set's object along with the set
+		// members; the stealable hint counts only some classes, so it is
+		// maintained per task.
+		for _, t := range moved {
+			rt.noteRemoved(v, t)
+		}
+		sh.mu.Unlock()
+		first := moved[0]
+		first.server = w.id
+		if len(moved) > 1 {
+			for _, t := range moved[1:] {
+				t.server = w.id
+				tq := &w.slots[t.slot]
+				tq.push(t)
+				w.nonEmpty.add(tq)
+				if t.class == core.ClassPlain || t.class == core.ClassTaskSet {
+					w.stealable.Add(1)
+				}
+			}
+			w.queued.Add(int64(len(moved) - 1))
+			w.cur = &w.slots[first.slot]
+			rt.queuedTotal.Add(int64(len(moved) - 1))
+		}
+		w.setScratch = moved[:0]
+		ctr.SetSteals++
+		return first
 	}
 	return nil
 }
@@ -745,7 +986,8 @@ func (rt *Runtime) runTask(w *worker, t *task) {
 		ctr.TasksAtHome++
 	}
 	rt.trace(w, trace.KindRun, w.id, t.name, 0)
-	c := &Ctx{w: w, rt: rt, scope: t.scope}
+	t.ctx = Ctx{w: w, rt: rt, scope: t.scope}
+	c := &t.ctx
 	rt.execute(c, t)
 	rt.trace(w, trace.KindDone, w.id, t.name, 0)
 	w.busyNS += time.Since(start).Nanoseconds()
@@ -774,7 +1016,11 @@ func (rt *Runtime) execute(c *Ctx, t *task) {
 		c.Lock(t.mon)
 		defer c.Unlock(t.mon)
 	}
-	t.fn(c)
+	if t.fn != nil {
+		t.fn(c)
+		return
+	}
+	rt.cfg.Invoke(c, t.payload)
 }
 
 // Ctx is the native execution context of one running task.
@@ -793,7 +1039,16 @@ func (c *Ctx) Now() int64 { return c.rt.nowNS() }
 // Spawn creates and enqueues a task with the given affinity; mon, when
 // non-nil, makes it a mutex function on that monitor.
 func (c *Ctx) Spawn(name string, a core.Affinity, mon *Monitor, fn func(*Ctx)) {
-	c.rt.spawn(c, name, a, mon, fn)
+	c.rt.spawn(c, name, a, mon, fn, nil)
+}
+
+// SpawnPayload creates and enqueues a task whose body is Config.Invoke
+// applied to payload. It lets the embedding runtime avoid allocating a
+// per-spawn wrapper closure: the adapter is configured once and the
+// payload (typically the user's func value) rides through the pooled
+// task record.
+func (c *Ctx) SpawnPayload(name string, a core.Affinity, mon *Monitor, payload any) {
+	c.rt.spawn(c, name, a, mon, nil, payload)
 }
 
 // WaitFor runs body and then blocks until every task spawned in its

@@ -1,6 +1,7 @@
 package native
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -109,26 +110,24 @@ func TestWholeSetStealMovesEverything(t *testing.T) {
 	v, w := rt.workers[0], rt.workers[1]
 	const obj = int64(4096)
 	slot := rt.slotOf(obj)
-	rt.setHome[obj] = 0
+	rt.shardOf(obj).home[obj] = 0
 	for i := 0; i < 3; i++ {
 		st := rt.newTask()
 		st.name, st.fn = "set", func(*Ctx) {}
 		st.class, st.server, st.slot, st.affObj = core.ClassTaskSet, 0, slot, obj
-		rt.insert(st)
+		rt.insert(st, 0)
 	}
 	pl := rt.newTask()
 	pl.name, pl.fn = "plain", func(*Ctx) {}
 	pl.class, pl.server = core.ClassPlain, 0
-	rt.insert(pl)
+	rt.insert(pl, 0)
 
-	rt.placeMu.Lock()
 	got := rt.stealFrom(v, w)
-	rt.placeMu.Unlock()
 	if got == nil || got.affObj != obj {
 		t.Fatalf("stealFrom returned %+v, want head of set %d", got, obj)
 	}
-	if rt.setHome[obj] != 1 {
-		t.Fatalf("set home = %d after steal, want thief 1", rt.setHome[obj])
+	if home := rt.setHomeOf(obj); home != 1 {
+		t.Fatalf("set home = %d after steal, want thief 1", home)
 	}
 	if n := w.slots[slot].size; n != 2 {
 		t.Fatalf("thief slot holds %d set members, want 2", n)
@@ -156,22 +155,18 @@ func TestStealSkipsPinnedHead(t *testing.T) {
 	pin := rt.newTask()
 	pin.name, pin.fn = "pinned", func(*Ctx) {}
 	pin.class, pin.server = core.ClassProcessor, 0
-	rt.insert(pin)
+	rt.insert(pin, 0)
 	free := rt.newTask()
 	free.name, free.fn = "free", func(*Ctx) {}
 	free.class, free.server = core.ClassPlain, 0
-	rt.insert(free)
+	rt.insert(free, 0)
 
-	rt.placeMu.Lock()
 	got := rt.stealFrom(v, w)
-	rt.placeMu.Unlock()
 	if got == nil || got.name != "free" {
 		t.Fatalf("stole %v, want the free task behind the pinned head", got)
 	}
 	// Now only the pinned task remains (queued=1): not stealable.
-	rt.placeMu.Lock()
 	got = rt.stealFrom(v, w)
-	rt.placeMu.Unlock()
 	if got != nil {
 		t.Fatalf("stole lone pinned task %q", got.name)
 	}
@@ -186,19 +181,15 @@ func TestObjectBoundStolenOnlyFromBacklog(t *testing.T) {
 		ob := rt.newTask()
 		ob.name, ob.fn = "ob", func(*Ctx) {}
 		ob.class, ob.server, ob.slot, ob.affObj = core.ClassObjectBound, 0, rt.slotOf(addr), addr
-		rt.insert(ob)
+		rt.insert(ob, 0)
 	}
 	mk(64)
-	rt.placeMu.Lock()
 	got := rt.stealFrom(v, w)
-	rt.placeMu.Unlock()
 	if got != nil {
 		t.Fatalf("stole object-bound task from a victim with queued=1")
 	}
 	mk(128)
-	rt.placeMu.Lock()
 	got = rt.stealFrom(v, w)
-	rt.placeMu.Unlock()
 	if got == nil || got.class != core.ClassObjectBound {
 		t.Fatalf("want an object-bound steal from a backlogged victim, got %v", got)
 	}
@@ -411,6 +402,43 @@ func TestConfigValidation(t *testing.T) {
 	for i, c := range cases {
 		if _, err := New(c); err == nil {
 			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// A Home callback that panics (the embedding runtime rejecting an
+// address outside its space) must surface as a TaskFailure from Run,
+// not leak the half-spawned task's live count and hang the drain.
+func TestHomePanicFailsRun(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		rt, _ := testRuntime(t, procs, func(cfg *Config) {
+			cfg.Home = func(addr int64) int {
+				if addr >= 1<<20 {
+					panic("home: address outside any arena")
+				}
+				return int(addr/4096) % procs
+			}
+		})
+		errCh := make(chan error, 1)
+		go func() {
+			errCh <- rt.Run(func(c *Ctx) {
+				c.WaitFor(func() {
+					c.Spawn("ok", core.Affinity{Kind: core.AffObject, ObjectObj: 4096}, nil, func(*Ctx) {})
+					c.Spawn("bad", core.Affinity{Kind: core.AffObject, ObjectObj: 1 << 21}, nil, func(*Ctx) {})
+				})
+			})
+		}()
+		select {
+		case err := <-errCh:
+			var tf *TaskFailure
+			if !errors.As(err, &tf) {
+				t.Fatalf("procs=%d: Run returned %v, want a *TaskFailure", procs, err)
+			}
+			if !strings.Contains(tf.Error(), "outside any arena") {
+				t.Fatalf("procs=%d: failure %v does not carry the Home panic", procs, tf)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("procs=%d: Run hung after Home panic (leaked live count?)", procs)
 		}
 	}
 }

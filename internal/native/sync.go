@@ -55,13 +55,10 @@ func (rt *Runtime) waitScope(c *Ctx, sc *scope) {
 			// Fresh work may have raced the failed take; re-probe.
 		case queued:
 			// Only work this worker may not take is left; back off
-			// instead of spinning (see parkRetryLimit).
+			// instead of spinning, doubling the nap each miss (see
+			// parkRetryLimit and stallBackoff).
 			start := time.Now()
-			select {
-			case <-w.wake:
-			case <-rt.done:
-			case <-time.After(stallBackoff):
-			}
+			rt.timedPark(w, stallBackoff(misses))
 			w.idleNS += time.Since(start).Nanoseconds()
 		case sc.n.Load() != 0:
 			start := time.Now()

@@ -31,7 +31,15 @@ type Counters struct {
 	StealsLocal  int64 // successful steals from the local cluster
 	StealsRemote int64 // successful steals from a remote cluster
 	SetSteals    int64 // whole task-affinity sets stolen
+	FailedSteals int64 // steal probes that examined a victim and took nothing
 	LockBlocks   int64 // monitor acquisitions that had to block
+
+	// LockContention counts scheduler-internal lock acquisitions (a
+	// worker's queue mutex or a set-table shard mutex) whose TryLock
+	// fast path failed and had to block. The simulator is single-threaded
+	// and reports zero; on the native backend it measures how contended
+	// the decentralized placement/steal protocol is.
+	LockContention int64
 
 	// Idle-wakeup traffic (counted against the waking server).
 	TargetedWakes  int64 // wakeups limited to the first K idle processors
@@ -71,7 +79,9 @@ func (c *Counters) Add(o Counters) {
 	c.StealsLocal += o.StealsLocal
 	c.StealsRemote += o.StealsRemote
 	c.SetSteals += o.SetSteals
+	c.FailedSteals += o.FailedSteals
 	c.LockBlocks += o.LockBlocks
+	c.LockContention += o.LockContention
 	c.TargetedWakes += o.TargetedWakes
 	c.BroadcastWakes += o.BroadcastWakes
 	c.FaultEvents += o.FaultEvents

@@ -24,7 +24,7 @@ import (
 
 // Options configures one differential sweep.
 type Options struct {
-	// Procs lists the machine sizes to cross-check (default 1, 2, 4, 8).
+	// Procs lists the machine sizes to cross-check (default 1, 2, 4, 8, 16).
 	Procs []int
 	// Small shrinks every app to a smoke-test workload.
 	Small bool
@@ -63,7 +63,7 @@ var scheduleTokens = map[string]map[string]bool{
 func Run(opts Options) error {
 	procs := opts.Procs
 	if len(procs) == 0 {
-		procs = []int{1, 2, 4, 8}
+		procs = []int{1, 2, 4, 8, 16}
 	}
 	out := opts.Out
 	if out == nil {

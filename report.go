@@ -31,7 +31,15 @@ type Counters struct {
 	StealsLocal  int64 // successful same-cluster steals
 	StealsRemote int64
 	SetSteals    int64
+	FailedSteals int64 // steal probes that examined a victim and took nothing
 	LockBlocks   int64
+
+	// LockContention counts scheduler-internal lock acquisitions (a
+	// worker's queue mutex, a set-table shard mutex) that missed their
+	// TryLock fast path and had to block. Always zero on the simulator
+	// (it is single-threaded); on the native backend it measures
+	// contention on the decentralized placement/steal locks.
+	LockContention int64
 
 	TargetedWakes  int64 // idle wakeups limited to the first K parked processors
 	BroadcastWakes int64 // idle wakeups that woke every parked processor
@@ -131,7 +139,9 @@ func (rt *Runtime) Report() Report {
 			StealsLocal:    p.StealsLocal,
 			StealsRemote:   p.StealsRemote,
 			SetSteals:      p.SetSteals,
+			FailedSteals:   p.FailedSteals,
 			LockBlocks:     p.LockBlocks,
+			LockContention: p.LockContention,
 			TargetedWakes:  p.TargetedWakes,
 			BroadcastWakes: p.BroadcastWakes,
 			FaultEvents:    p.FaultEvents,
@@ -174,7 +184,9 @@ func addCounters(dst *Counters, c Counters) {
 	dst.StealsLocal += c.StealsLocal
 	dst.StealsRemote += c.StealsRemote
 	dst.SetSteals += c.SetSteals
+	dst.FailedSteals += c.FailedSteals
 	dst.LockBlocks += c.LockBlocks
+	dst.LockContention += c.LockContention
 	dst.TargetedWakes += c.TargetedWakes
 	dst.BroadcastWakes += c.BroadcastWakes
 	dst.FaultEvents += c.FaultEvents
