@@ -2,6 +2,7 @@ package cool_test
 
 import (
 	"testing"
+	"time"
 
 	cool "github.com/coolrts/cool"
 )
@@ -127,23 +128,83 @@ func TestWakeCountersObserved(t *testing.T) {
 }
 
 // TestRetryCountersThroughReport runs a transient-fault workload under a
-// retry policy on the simulator and asserts the retry counters flow
-// through Report (the native backend rejects fault plans, so this half
-// is sim-only; the healthy-run zero assertions above cover native).
+// retry policy on both backends and asserts the retry counters flow
+// through Report with the same meaning: a successful faulted run shows
+// the retries it absorbed, never a give-up, and the per-processor rows
+// sum to the total.
 func TestRetryCountersThroughReport(t *testing.T) {
-	plan := cool.NewFaultPlan().FailTask("flaky", 1)
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			plan := cool.NewFaultPlan().FailTask("flaky", 1)
+			rt, err := cool.NewRuntime(cool.Config{
+				Processors: 4,
+				Backend:    be.b,
+				Faults:     plan,
+				Retry:      &cool.RetryPolicy{MaxAttempts: 3},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = rt.Run(func(ctx *cool.Ctx) {
+				ctx.WaitFor(func() {
+					for i := 0; i < 8; i++ {
+						ctx.Spawn("flaky", func(c *cool.Ctx) { c.Compute(10) })
+					}
+				})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rt.Report()
+			if r.Total.TasksRun != 9 {
+				t.Errorf("TasksRun = %d, want 9 (8 spawns + main, each exactly once)", r.Total.TasksRun)
+			}
+			if r.Total.Retries == 0 {
+				t.Error("fault plan injected transient failures but Report shows Retries = 0")
+			}
+			if r.Total.GaveUp != 0 {
+				t.Errorf("run succeeded but Report shows GaveUp = %d", r.Total.GaveUp)
+			}
+			var perRetries int64
+			for _, p := range r.Per {
+				perRetries += p.Retries
+			}
+			if perRetries != r.Total.Retries {
+				t.Errorf("per-processor Retries sum %d != total %d", perRetries, r.Total.Retries)
+			}
+		})
+	}
+}
+
+// TestFaultCountersThroughReportNative injects a stall and a worker
+// failure into a native run and asserts the fault-path counters Report
+// exposes are consistent with the plan: both events counted, the run
+// still executes every task exactly once, and retirement never splits a
+// task-affinity set. (The simulator side of this contract is covered by
+// the root fault tests; this is the native half ISSUE 6 adds.)
+func TestFaultCountersThroughReportNative(t *testing.T) {
+	const tasks = 200
+	plan := cool.NewFaultPlan().
+		StallProcessor(2, 0, 100_000).
+		FailProcessor(1, 300_000)
 	rt, err := cool.NewRuntime(cool.Config{
 		Processors: 4,
+		Backend:    cool.BackendNative,
 		Faults:     plan,
-		Retry:      &cool.RetryPolicy{MaxAttempts: 3},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	set := rt.NewI64(8, 0)
 	err = rt.Run(func(ctx *cool.Ctx) {
 		ctx.WaitFor(func() {
-			for i := 0; i < 8; i++ {
-				ctx.Spawn("flaky", func(c *cool.Ctx) { c.Compute(10) })
+			for i := 0; i < tasks; i++ {
+				ctx.Spawn("work", func(c *cool.Ctx) {
+					// Keep the run in the milliseconds so the 300µs
+					// failure lands mid-flight.
+					time.Sleep(30 * time.Microsecond)
+				}, cool.TaskAffinity(set.Addr(i%8)))
 			}
 		})
 	})
@@ -151,17 +212,66 @@ func TestRetryCountersThroughReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := rt.Report()
-	if r.Total.Retries == 0 {
-		t.Error("fault plan injected transient failures but Report shows Retries = 0")
+	if r.Total.TasksRun != tasks+1 {
+		t.Errorf("TasksRun = %d, want %d", r.Total.TasksRun, tasks+1)
 	}
-	if r.Total.GaveUp != 0 {
-		t.Errorf("run succeeded but Report shows GaveUp = %d", r.Total.GaveUp)
+	// The stall is due at t=0 and must fire; the failure is due well
+	// inside the run's minimum duration (200 tasks x 30µs on 4 workers).
+	if r.Total.FaultEvents < 2 {
+		t.Errorf("FaultEvents = %d, want >= 2 (stall + proc-fail)", r.Total.FaultEvents)
 	}
-	var perRetries int64
-	for _, p := range r.Per {
-		perRetries += p.Retries
+	if r.Total.Retries != 0 || r.Total.GaveUp != 0 {
+		t.Errorf("plan has no transient faults but Retries=%d GaveUp=%d",
+			r.Total.Retries, r.Total.GaveUp)
 	}
-	if perRetries != r.Total.Retries {
-		t.Errorf("per-processor Retries sum %d != total %d", perRetries, r.Total.Retries)
+	if r.SetSplits != 0 {
+		t.Errorf("SetSplits = %d, want 0 after retirement", r.SetSplits)
+	}
+}
+
+// TestRedistributedCounterThroughReportNative retires a worker whose
+// queue is provably deep — every task is pinned to it and each body far
+// outlasts the spawn loop — so the retirement drain itself must move
+// work and count it on the victim's row. (The plan-consistency test
+// above can legitimately see Redistributed == 0: tasks spawned after
+// the dead bit lands are rerouted at insert time, which is placement,
+// not redistribution.)
+func TestRedistributedCounterThroughReportNative(t *testing.T) {
+	const tasks = 80
+	rt, err := cool.NewRuntime(cool.Config{
+		Processors: 4,
+		Backend:    cool.BackendNative,
+		Faults:     cool.NewFaultPlan().FailProcessor(3, 1_000_000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			for i := 0; i < tasks; i++ {
+				ctx.Spawn("pinned", func(*cool.Ctx) {
+					// 80 x 200µs serialized on one worker ≫ the 1ms
+					// failure time: the queue cannot drain first.
+					time.Sleep(200 * time.Microsecond)
+				}, cool.OnProcessor(3))
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.Report()
+	if r.Total.TasksRun != tasks+1 {
+		t.Errorf("TasksRun = %d, want %d", r.Total.TasksRun, tasks+1)
+	}
+	if r.Total.Redistributed == 0 {
+		t.Error("Redistributed = 0, want > 0 (deep pinned queue drained at retirement)")
+	}
+	if got := r.Per[3].Redistributed; got != r.Total.Redistributed {
+		t.Errorf("victim row Redistributed = %d, want all %d (counted on the retired worker)",
+			got, r.Total.Redistributed)
+	}
+	if r.SetSplits != 0 {
+		t.Errorf("SetSplits = %d, want 0", r.SetSplits)
 	}
 }

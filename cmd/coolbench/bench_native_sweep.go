@@ -200,6 +200,15 @@ func benchNativeRun(procs []int, names []string, small bool, reps int) (*nativeD
 					return nil, fmt.Errorf("%s: %w", e.Name, err)
 				}
 				t := res.Report.Total
+				// A healthy (fault-free, retry-free) run must not count
+				// robustness events; a nonzero counter here is a native
+				// scheduler bug, so it fails the sweep — and with it the
+				// -bench-native-check CI smoke.
+				if t.FaultEvents != 0 || t.Redistributed != 0 || t.Retries != 0 || t.GaveUp != 0 {
+					return nil, fmt.Errorf(
+						"%s: healthy native run counted robustness events (faults=%d redistributed=%d retries=%d gaveup=%d)",
+						e.Name, t.FaultEvents, t.Redistributed, t.Retries, t.GaveUp)
+				}
 				// Cycles are wall-clock nanoseconds on the native backend.
 				if rep == 0 || res.Cycles < e.WallNS {
 					e.WallNS = res.Cycles

@@ -42,6 +42,7 @@ import (
 
 	"github.com/coolrts/cool/internal/cache"
 	"github.com/coolrts/cool/internal/core"
+	"github.com/coolrts/cool/internal/fault"
 	"github.com/coolrts/cool/internal/machine"
 	"github.com/coolrts/cool/internal/memsim"
 	"github.com/coolrts/cool/internal/native"
@@ -60,9 +61,13 @@ const (
 	// BackendNative executes on real goroutines, one worker per
 	// processor, with the same affinity-queue scheduler. Time is
 	// wall-clock nanoseconds; the memory system is the host's, so cache
-	// counters and cycle charges are not modelled. Options that require
-	// simulated time (faults, retries, deadlines, cycle limits, quantum,
-	// machine overrides) are rejected with *UnsupportedOnNativeError.
+	// counters and cycle charges are not modelled. The robustness stack
+	// works on both backends: Faults, Retry, Deadline, and the
+	// no-progress watchdog run natively with every cycle quantity read
+	// as wall-clock nanoseconds (DegradeMemory events are ignored — the
+	// memory system is real). Only the options that require the
+	// simulated machine itself (Machine, CycleLimit, Quantum) are
+	// rejected with *UnsupportedOnNativeError.
 	BackendNative
 )
 
@@ -126,7 +131,9 @@ type Config struct {
 	Machine *machine.Config
 	// Faults, when non-nil, is the deterministic fault-injection plan
 	// applied to the run (see FaultPlan). Invalid plans are rejected by
-	// NewRuntime.
+	// NewRuntime. On the native backend event times and durations are
+	// read as wall-clock nanoseconds and DegradeMemory events are
+	// ignored.
 	Faults *FaultPlan
 	// CycleLimit, when positive, arms a no-progress watchdog: if
 	// simulated time passes it with tasks still outstanding, Run stops
@@ -137,12 +144,14 @@ type Config struct {
 	// launches aborted by FailTask events or FlakyProcessor windows are
 	// re-placed on a different server and retried with exponential
 	// backoff (see RetryPolicy, including the panic interaction). When
-	// nil, the first transient abort fails the run.
+	// nil, the first transient abort fails the run. On the native
+	// backend backoffs are read as wall-clock nanoseconds.
 	Retry *RetryPolicy
 	// Deadline, when positive, bounds the run to that many simulated
-	// cycles: an over-budget run stops and returns a
-	// *DeadlineExceededError carrying a progress snapshot (per-server
-	// queue depths, blocked tasks and what they wait on).
+	// cycles — wall-clock nanoseconds on the native backend. An
+	// over-budget run stops and returns a *DeadlineExceededError
+	// carrying a progress snapshot (per-server queue depths, and on the
+	// simulator the blocked tasks and what they wait on).
 	Deadline int64
 	// Backend selects the execution engine (default: the simulator).
 	Backend Backend
@@ -298,31 +307,65 @@ func CaptureRuntime(f func(*Runtime)) (restore func()) {
 }
 
 // nativeUnsupported rejects configuration options whose semantics
-// require simulated time or the simulated memory system.
+// require the simulated machine itself. Faults, Retry, and Deadline
+// are NOT in this list: they run natively with cycle quantities read
+// as wall-clock nanoseconds (see newNativeRuntime).
 func nativeUnsupported(c Config) error {
 	switch {
 	case c.Machine != nil:
 		return &UnsupportedOnNativeError{Option: "Machine"}
-	case c.Faults != nil:
-		return &UnsupportedOnNativeError{Option: "Faults"}
-	case c.Retry != nil:
-		return &UnsupportedOnNativeError{Option: "Retry"}
 	case c.CycleLimit > 0:
 		return &UnsupportedOnNativeError{Option: "CycleLimit"}
-	case c.Deadline > 0:
-		return &UnsupportedOnNativeError{Option: "Deadline"}
 	case c.Quantum > 0:
 		return &UnsupportedOnNativeError{Option: "Quantum"}
 	}
 	return nil
 }
 
+// defaultNativeNoProgressNS is the no-progress watchdog window armed on
+// native runs that inject faults or retries: if no task completes for
+// this long while work is outstanding, Run stops with a
+// *NoProgressError instead of hanging. Two seconds of zero completions
+// on a real machine is orders of magnitude beyond any legitimate stall
+// the fault vocabulary can produce (stalls and backoffs are bounded in
+// the low milliseconds).
+const defaultNativeNoProgressNS = 2_000_000_000
+
 // newNativeRuntime builds a runtime executing on the goroutine backend.
 // The DASH machine description supplies only the address-space geometry
 // (page size, cluster topology) used for object homes and victim order;
 // latencies and caches are unused. Config.Seed is accepted and ignored —
 // native runs are inherently timing-dependent.
+//
+// The robustness options map onto wall-clock time: every quantity a
+// fault plan, retry policy, or deadline expresses in simulated cycles
+// is read as nanoseconds. DegradeMemory events are ignored (the memory
+// system is the host's). When faults or retries are armed, a default
+// no-progress watchdog guards against hangs.
 func newNativeRuntime(c Config, mc machine.Config, pol core.Policy) (*Runtime, error) {
+	var retry native.RetryConfig
+	if c.Retry != nil {
+		p, err := c.Retry.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		retry = native.RetryConfig{
+			MaxAttempts:  p.MaxAttempts,
+			BackoffNS:    p.Backoff,
+			MaxBackoffNS: p.MaxBackoff,
+		}
+	}
+	var plan *fault.Plan
+	if c.Faults != nil {
+		if err := c.Faults.plan.Validate(mc.Processors, mc.Clusters()); err != nil {
+			return nil, fmt.Errorf("cool: invalid Config.Faults: %w", err)
+		}
+		plan = &c.Faults.plan
+	}
+	noProgress := int64(0)
+	if c.Faults != nil || c.Retry != nil {
+		noProgress = defaultNativeNoProgressNS
+	}
 	rt := &Runtime{cfg: mc, backend: BackendNative}
 	rt.space = memsim.New(mc)
 	rt.mon = perfmon.New(mc.Processors)
@@ -345,6 +388,10 @@ func newNativeRuntime(c Config, mc machine.Config, pol core.Policy) (*Runtime, e
 			p.(func(*Ctx))(&Ctx{nc: nc, rt: rt})
 		},
 		TraceCapacity: c.TraceCapacity,
+		Faults:        plan,
+		Retry:         retry,
+		DeadlineNS:    c.Deadline,
+		NoProgressNS:  noProgress,
 	})
 	if err != nil {
 		return nil, err

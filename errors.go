@@ -10,11 +10,14 @@ import (
 )
 
 // UnsupportedOnNativeError is returned by NewRuntime when a
-// configuration option that requires simulated time or the simulated
-// memory system (fault plans, retries, deadlines, cycle limits, quantum
-// slicing, machine overrides) is combined with BackendNative. Callers
-// that want to run the same Config on both backends should strip these
-// options for the native run rather than treat this as a failure.
+// configuration option that requires the simulated machine itself —
+// Machine (latency/cache overrides), CycleLimit (a bound on simulated
+// time), or Quantum (interleaving control) — is combined with
+// BackendNative. Fault plans, retries, and deadlines are NOT rejected:
+// they run natively with cycle quantities read as wall-clock
+// nanoseconds. Callers that want to run the same Config on both
+// backends should strip the sim-only options for the native run rather
+// than treat this as a failure.
 type UnsupportedOnNativeError struct {
 	Option string // the Config field that cannot apply natively
 }
@@ -87,11 +90,16 @@ func (e *DeadlockError) Error() string {
 	return b.String()
 }
 
-// NoProgressError is returned by Run when Config.CycleLimit was set and
-// simulated time passed it with work still outstanding. It carries a
-// clock and queue snapshot instead of letting the simulation run (or
-// spin) forever.
+// NoProgressError is returned by Run when the no-progress watchdog
+// fired with work still outstanding: on the simulator, Config.CycleLimit
+// was set and simulated time passed it; on the native backend, no task
+// completed for the watchdog window (armed automatically when faults or
+// retries are configured) while tasks remained live. It carries a clock
+// and queue snapshot instead of letting the run spin (or hang) forever.
 type NoProgressError struct {
+	// CycleLimit is the limit that fired: Config.CycleLimit in
+	// simulated cycles, or the native watchdog window in wall-clock
+	// nanoseconds.
 	CycleLimit   int64
 	Time         int64   // simulated cycle the watchdog fired
 	LiveTasks    int     // tasks not yet run to completion
@@ -207,18 +215,45 @@ func (rt *Runtime) wrapRunError(err error) error {
 }
 
 // wrapNativeError converts native-runtime failures into the public
-// typed errors. Time is wall-clock nanoseconds since Run started.
+// typed errors. Time is wall-clock nanoseconds since Run started, and
+// every cycle-denominated field (Deadline, CycleLimit) carries the
+// nanosecond quantity the native run was configured with. Fields that
+// only the simulator can know — per-processor Clocks and the
+// blocked-task wait-for graph — stay zero.
 func (rt *Runtime) wrapNativeError(err error) error {
 	if err == nil {
 		return nil
 	}
-	if f, ok := err.(*native.TaskFailure); ok {
+	switch f := err.(type) {
+	case *native.TaskFailure:
 		return &TaskPanicError{
-			Task:  f.Task,
-			Proc:  f.Proc,
-			Time:  f.Time,
-			Value: f.Value,
-			Stack: f.Stack,
+			Task:     f.Task,
+			Proc:     f.Proc,
+			Time:     f.Time,
+			Value:    f.Value,
+			Stack:    f.Stack,
+			Injected: f.Injected,
+		}
+	case *native.TaskAbort:
+		return &TaskAbortError{
+			Task:     f.Task,
+			Proc:     f.Proc,
+			Time:     f.Time,
+			Attempts: f.Attempts,
+		}
+	case *native.DeadlineError:
+		return &DeadlineExceededError{
+			Deadline:    f.DeadlineNS,
+			Time:        f.Time,
+			LiveTasks:   f.Live,
+			QueueDepths: f.QueueDepths,
+		}
+	case *native.NoProgressError:
+		return &NoProgressError{
+			CycleLimit: f.WindowNS,
+			Time:       f.Time,
+			LiveTasks:  f.Live,
+			Snapshot:   f.Snapshot,
 		}
 	}
 	return err

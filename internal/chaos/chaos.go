@@ -5,6 +5,15 @@
 // against a fault-free reference run. Failing campaigns auto-shrink to
 // a minimal reproducing fault plan, printed as copy-pasteable builder
 // calls.
+//
+// Campaigns run on either backend. On the simulator both the faulted
+// run and its reference are bit-deterministic. On the native backend
+// the reference is a fault-free native run and the differential check
+// is necessarily looser: tokens that depend on execution order may
+// differ between any two native schedules (same relaxation as the
+// xcheck harness), so those are skipped at P>1 even before faults are
+// injected. Task-count equality and typed-failure classification hold
+// on both backends.
 package chaos
 
 import (
@@ -53,6 +62,10 @@ type Campaign struct {
 	Plan     *cool.FaultPlan
 	Retry    *cool.RetryPolicy
 	Deadline int64
+	// Backend selects the execution engine the campaign (and its
+	// fault-free reference) runs on. Native campaigns read the plan's
+	// cycle quantities as wall-clock nanoseconds.
+	Backend cool.Backend
 }
 
 // NewCampaign derives a deterministic campaign from a seed against the
@@ -141,11 +154,11 @@ type Oracle struct {
 func NewOracle() *Oracle { return &Oracle{refs: map[string]ref{}} }
 
 func (o *Oracle) healthy(app apps.App, c Campaign) (ref, error) {
-	key := fmt.Sprintf("%s/%s/p%d/s%d", c.App, c.Variant, c.Procs, c.Size)
+	key := fmt.Sprintf("%s/%s/p%d/s%d/%v", c.App, c.Variant, c.Procs, c.Size, c.Backend)
 	if r, ok := o.refs[key]; ok {
 		return r, r.err
 	}
-	res, err := app.Run(c.Procs, c.Variant, c.Size)
+	res, err := app.RunCfg(cool.Config{Processors: c.Procs, Backend: c.Backend}, c.Variant, c.Size)
 	r := ref{res.Verify, res.Report.Total.TasksRun, err}
 	o.refs[key] = r
 	return r, err
@@ -163,6 +176,7 @@ func (o *Oracle) Run(app apps.App, c Campaign) Outcome {
 		Faults:     c.Plan,
 		Retry:      c.Retry,
 		Deadline:   c.Deadline,
+		Backend:    c.Backend,
 	}
 	res, err := app.RunCfg(cfg, c.Variant, c.Size)
 	if err != nil {

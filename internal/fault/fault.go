@@ -1,11 +1,14 @@
-// Package fault defines deterministic fault-injection plans for the
-// simulated machine. A Plan is an explicit list of fault events —
-// processor slowdowns, stalls, permanent failures, memory-module
-// degradation, and injected task panics — that the runtime applies at
-// fixed simulated times. Because every event is pinned to simulated
-// time (not wall clock) and plans carry no hidden randomness, a run
-// with the same seed and the same plan is exactly reproducible: fault
-// experiments replay cycle for cycle.
+// Package fault defines deterministic fault-injection plans. A Plan is
+// an explicit list of fault events — processor slowdowns, stalls,
+// permanent failures, memory-module degradation, and injected task
+// panics — that the runtime applies at fixed times. On the simulator
+// every event is pinned to simulated time (not wall clock) and plans
+// carry no hidden randomness, so a run with the same seed and the same
+// plan is exactly reproducible: fault experiments replay cycle for
+// cycle. The native backend reads the same At/Cycles quantities as
+// wall-clock nanoseconds: the plan's events still fire
+// deterministically, but the goroutine interleaving they perturb does
+// not replay.
 package fault
 
 import (

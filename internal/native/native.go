@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/coolrts/cool/internal/core"
+	"github.com/coolrts/cool/internal/fault"
 	"github.com/coolrts/cool/internal/perfmon"
 	"github.com/coolrts/cool/internal/trace"
 )
@@ -60,16 +61,37 @@ type Config struct {
 	// TraceCapacity, when positive, bounds the merged scheduler event
 	// trace (timestamps are wall-clock nanoseconds since Run).
 	TraceCapacity int
+
+	// Faults, when non-nil, is the fault plan to inject, with event
+	// times and durations read as wall-clock nanoseconds since Run
+	// started. The plan must already be validated (Plan.Validate) by
+	// the embedding runtime. MemDegrade events are ignored — there is
+	// no memory system to degrade natively.
+	Faults *fault.Plan
+
+	// Retry enables transient-failure recovery (see RetryConfig). The
+	// zero value stops the run on the first aborted launch.
+	Retry RetryConfig
+
+	// DeadlineNS, when positive, stops runs still live past this many
+	// wall-clock nanoseconds with a *DeadlineError.
+	DeadlineNS int64
+
+	// NoProgressNS, when positive, arms the watchdog: a run in which no
+	// task completes for this long while work is outstanding stops with
+	// a *NoProgressError instead of hanging.
+	NoProgressNS int64
 }
 
 // TaskFailure reports a panicked task. The embedding runtime converts it
 // to its public typed error.
 type TaskFailure struct {
-	Task  string
-	Proc  int
-	Time  int64 // nanoseconds since Run started
-	Value any
-	Stack string
+	Task     string
+	Proc     int
+	Time     int64 // nanoseconds since Run started
+	Value    any
+	Stack    string
+	Injected bool // panic planted by a fault plan, not application code
 }
 
 func (f *TaskFailure) Error() string {
@@ -88,6 +110,15 @@ type task struct {
 	affObj  int64 // address identifying the task-affinity set (0 if none)
 	scope   *scope
 	mon     *Monitor // mutex-function monitor, locked around fn
+
+	// Fault-injection state (zero when no plan is armed): the per-name
+	// spawn index assigned by the injector, whether the injector tracks
+	// this name, a planted panic, and the count of aborted launch
+	// attempts so far.
+	spawnIdx int
+	tracked  bool
+	injPanic bool
+	aborts   int
 
 	// ctx is the execution context handed to the task body, embedded in
 	// the pooled record so running a task allocates nothing. It is valid
@@ -126,6 +157,10 @@ type worker struct {
 
 	wake  chan struct{} // cap 1; parking/wakeup token
 	timer *time.Timer   // reused across timed parks; nil until first use
+
+	// fev is this worker's share of the fault plan (nil without one),
+	// consumed by the worker's own goroutine at dispatch points.
+	fev *workerFaults
 
 	busyNS, idleNS int64
 	events         []trace.Event
@@ -167,7 +202,29 @@ type Runtime struct {
 	setSplits   atomic.Int64
 
 	failMu sync.Mutex
-	fail   *TaskFailure
+	fail   error
+
+	// Robustness state (see fault.go). stopc is closed by stop() to
+	// unwind every worker when a deadline, watchdog, or exhausted retry
+	// budget aborts the run; dead is the bitmask of retired workers,
+	// published before a retiring worker drains its queues. armed is
+	// true when any robustness feature (faults, retries, deadline,
+	// watchdog) is active — the fault-free fast paths stay branchless
+	// beyond one flag or atomic load.
+	stopc     chan struct{}
+	stopping  atomic.Bool
+	stopOnce  sync.Once
+	dead      atomic.Uint64
+	armed     bool
+	inj       *injector
+	retry     RetryConfig
+	retries   retryQueue
+	completed atomic.Int64 // tasks run to completion (watchdog progress)
+	tkScratch perfmon.Counters
+	tkDone    sync.WaitGroup
+
+	deadlineNS   int64
+	noProgressNS int64
 
 	pool    sync.Pool
 	start   time.Time
@@ -199,7 +256,12 @@ func New(cfg Config) (*Runtime, error) {
 		pol:    pol,
 		shards: make([]setShard, numSetShards),
 		done:   make(chan struct{}),
+		stopc:  make(chan struct{}),
 	}
+	rt.retry = cfg.Retry
+	rt.deadlineNS = cfg.DeadlineNS
+	rt.noProgressNS = cfg.NoProgressNS
+	rt.armed = cfg.Faults != nil || rt.retry.enabled() || rt.deadlineNS > 0 || rt.noProgressNS > 0
 	for i := range rt.shards {
 		rt.shards[i].home = make(map[int64]int)
 	}
@@ -214,6 +276,9 @@ func New(cfg Config) (*Runtime, error) {
 		rt.workers[i] = w
 	}
 	rt.buildVictimRings()
+	if cfg.Faults != nil {
+		rt.armFaults(cfg.Faults)
+	}
 	return rt, nil
 }
 
@@ -288,6 +353,10 @@ func (rt *Runtime) Run(main func(*Ctx)) error {
 	root.class, root.server, root.slot = core.ClassProcessor, 0, -1
 	rt.live.Store(1)
 	rt.insertAndWake(root, 0)
+	if rt.armed {
+		rt.tkDone.Add(1)
+		go rt.timekeeper()
+	}
 	var wg sync.WaitGroup
 	for _, w := range rt.workers {
 		wg.Add(1)
@@ -297,6 +366,7 @@ func (rt *Runtime) Run(main func(*Ctx)) error {
 		}(w)
 	}
 	wg.Wait()
+	rt.tkDone.Wait()
 	rt.elapsed.Store(time.Since(rt.start).Nanoseconds())
 	rt.failMu.Lock()
 	defer rt.failMu.Unlock()
@@ -341,10 +411,10 @@ func (rt *Runtime) freeTask(t *task) {
 	rt.pool.Put(t)
 }
 
-func (rt *Runtime) recordFailure(f *TaskFailure) {
+func (rt *Runtime) recordFailure(err error) {
 	rt.failMu.Lock()
 	if rt.fail == nil {
-		rt.fail = f
+		rt.fail = err
 	}
 	rt.failMu.Unlock()
 }
@@ -384,12 +454,23 @@ func stallBackoff(misses int) time.Duration {
 }
 
 // loop is one worker's scheduling loop: local queues, stealing, parking.
+// Each iteration is a dispatch point: due fault events apply first (a
+// Fail event retires the worker and exits the loop), and a stopped run
+// exits before taking more work.
 func (rt *Runtime) loop(w *worker) {
 	misses := 0
 	for {
+		if rt.armed {
+			if rt.stopped() {
+				return
+			}
+			if rt.checkFaults(w, true) {
+				return // retired
+			}
+		}
 		if t := rt.take(w); t != nil {
 			misses = 0
-			rt.runTask(w, t)
+			rt.dispatch(w, t)
 			continue
 		}
 		select {
@@ -400,6 +481,16 @@ func (rt *Runtime) loop(w *worker) {
 		misses++
 		rt.park(w, misses)
 	}
+}
+
+// dispatch runs one dequeued task, first consulting the transient-fault
+// injections (flaky windows, planted launch failures) that may abort
+// the launch and schedule a retry instead.
+func (rt *Runtime) dispatch(w *worker, t *task) {
+	if rt.armed && rt.launchAborted(w, t) {
+		return
+	}
+	rt.runTask(w, t)
 }
 
 // park publishes the worker as idle, rechecks for work (closing the
@@ -420,6 +511,7 @@ func (rt *Runtime) park(w *worker, misses int) {
 		select {
 		case <-w.wake:
 		case <-rt.done:
+		case <-rt.stopc:
 		}
 	}
 	w.idleNS += time.Since(start).Nanoseconds()
@@ -438,6 +530,7 @@ func (rt *Runtime) timedPark(w *worker, d time.Duration) {
 	select {
 	case <-w.wake:
 	case <-rt.done:
+	case <-rt.stopc:
 	case <-w.timer.C:
 		fired = true
 	}
@@ -550,10 +643,17 @@ func (rt *Runtime) place(t *task, a core.Affinity, spawner int) {
 // whose goroutine is running — each row is still written only by its
 // own goroutine).
 func (rt *Runtime) lockWorker(w *worker, actor int) {
+	rt.lockWorkerCtr(w, &rt.cfg.Mon.Per[actor])
+}
+
+// lockWorkerCtr is lockWorker with an explicit contention sink, for
+// callers without a perfmon row of their own (the timekeeper goroutine
+// charges its scratch counters to keep the one-writer-per-row rule).
+func (rt *Runtime) lockWorkerCtr(w *worker, ctr *perfmon.Counters) {
 	if w.mu.TryLock() {
 		return
 	}
-	rt.cfg.Mon.Per[actor].LockContention++
+	ctr.LockContention++
 	w.mu.Lock()
 }
 
@@ -568,56 +668,86 @@ func (rt *Runtime) lockWorker(w *worker, actor int) {
 // and revalidates the home: if a concurrent whole-set steal re-homed
 // the set in between, the placement chases the new home instead of
 // splitting the set.
-func (rt *Runtime) placeSet(t *task, obj int64, actor int) int {
+//
+// Worker retirement adds one more reason to revalidate: a home may be
+// dead (checked under the shard lock, and re-checked under the home
+// worker's queue lock — the retire protocol publishes the dead bit
+// before draining, so an insert that acquires the queue lock after the
+// drain always sees it). A dead home is re-homed to a survivor under
+// the shard lock, and every member chases the same record, so the set
+// moves whole. The dead checks cost one atomic load when no worker has
+// retired.
+func (rt *Runtime) placeSet(t *task, obj int64, ctr *perfmon.Counters) int {
 	t.class, t.slot, t.affObj = core.ClassTaskSet, rt.slotOf(obj), obj
 	sh := rt.shardOf(obj)
-	ctr := &rt.cfg.Mon.Per[actor]
-	sh.lock(ctr)
-	sv, ok := sh.home[obj]
-	if !ok {
-		if rt.pol.PlaceSetsLeastLoaded {
-			sv = rt.leastLoaded()
-		} else {
-			sv = int(rt.rr.Add(1)-1) % rt.cfg.Procs
+	for {
+		sh.lock(ctr)
+		sv, ok := sh.home[obj]
+		if !ok {
+			if rt.pol.PlaceSetsLeastLoaded {
+				sv = rt.leastLoaded()
+			} else {
+				sv = int(rt.rr.Add(1)-1) % rt.cfg.Procs
+			}
+		}
+		if rt.dead.Load() != 0 && rt.isDead(sv) {
+			sv = rt.spreadAlive()
 		}
 		sh.home[obj] = sv
-	}
-	if w := rt.workers[sv]; w.mu.TryLock() {
-		t.server = sv
-		rt.pushLocked(w, t)
-		w.mu.Unlock()
+		if w := rt.workers[sv]; w.mu.TryLock() {
+			if rt.dead.Load() == 0 || !rt.isDead(sv) {
+				t.server = sv
+				rt.pushLocked(w, t)
+				w.mu.Unlock()
+				sh.mu.Unlock()
+				rt.queuedTotal.Add(1)
+				return sv
+			}
+			// The home retired between the shard check and the queue
+			// lock; re-home under the still-held shard lock and retry.
+			w.mu.Unlock()
+			sh.home[obj] = rt.spreadAlive()
+			sh.mu.Unlock()
+			continue
+		}
+		ctr.LockContention++
 		sh.mu.Unlock()
-		rt.queuedTotal.Add(1)
-		return sv
-	}
-	ctr.LockContention++
-	sh.mu.Unlock()
-	for {
-		w := rt.workers[sv]
-		rt.lockWorker(w, actor)
-		sh.lock(ctr)
-		if sh.home[obj] == sv {
-			t.server = sv
-			rt.pushLocked(w, t)
+		for {
+			w := rt.workers[sv]
+			rt.lockWorkerCtr(w, ctr)
+			sh.lock(ctr)
+			dead := rt.dead.Load() != 0 && rt.isDead(sv)
+			if sh.home[obj] == sv && !dead {
+				t.server = sv
+				rt.pushLocked(w, t)
+				sh.mu.Unlock()
+				w.mu.Unlock()
+				rt.queuedTotal.Add(1)
+				return sv
+			}
+			// A concurrent whole-set steal moved the set, or the home
+			// retired; chase the new (live) home.
+			if dead && sh.home[obj] == sv {
+				sh.home[obj] = rt.spreadAlive()
+			}
+			sv = sh.home[obj]
 			sh.mu.Unlock()
 			w.mu.Unlock()
-			rt.queuedTotal.Add(1)
-			return sv
 		}
-		// A concurrent whole-set steal moved the set between the home
-		// lookup and the insert; chase the new home.
-		sv = sh.home[obj]
-		sh.mu.Unlock()
-		w.mu.Unlock()
 	}
 }
 
-// leastLoaded returns the worker with the fewest queued tasks (ties to
-// the lowest id). The per-worker counts are atomics, so the lock-free
-// scan is a consistent-enough snapshot for a load-balancing heuristic.
+// leastLoaded returns the surviving worker with the fewest queued tasks
+// (ties to the lowest id). The per-worker counts are atomics, so the
+// lock-free scan is a consistent-enough snapshot for a load-balancing
+// heuristic.
 func (rt *Runtime) leastLoaded() int {
+	dead := rt.dead.Load()
 	best, bestQ := 0, int64(1)<<62
 	for i, w := range rt.workers {
+		if dead&(1<<uint(i)) != 0 {
+			continue
+		}
 		if q := w.queued.Load(); q < bestQ {
 			best, bestQ = i, q
 		}
@@ -643,22 +773,38 @@ func (rt *Runtime) pushLocked(w *worker, t *task) {
 
 // insert pushes t onto its server's queues (taking that worker's lock
 // and no other — the owner-local and cross-worker paths are the same
-// single acquisition).
-func (rt *Runtime) insert(t *task, actor int) {
-	w := rt.workers[t.server]
-	rt.lockWorker(w, actor)
-	rt.pushLocked(w, t)
-	w.mu.Unlock()
-	rt.queuedTotal.Add(1)
+// single acquisition), returning the worker it went to. A dead server
+// is rerouted to a survivor under the target's lock; the extra check is
+// one atomic load while no worker has retired.
+func (rt *Runtime) insert(t *task, actor int) int {
+	return rt.insertFrom(t, &rt.cfg.Mon.Per[actor])
+}
+
+// insertFrom is insert with an explicit contention sink (the timekeeper
+// goroutine passes its scratch counters).
+func (rt *Runtime) insertFrom(t *task, ctr *perfmon.Counters) int {
+	for {
+		sv := t.server
+		w := rt.workers[sv]
+		rt.lockWorkerCtr(w, ctr)
+		if rt.dead.Load() != 0 && rt.isDead(sv) {
+			w.mu.Unlock()
+			t.server = rt.rerouteTarget(t)
+			continue
+		}
+		rt.pushLocked(w, t)
+		w.mu.Unlock()
+		rt.queuedTotal.Add(1)
+		return sv
+	}
 }
 
 // insertAndWake inserts t and applies the wake policy. The task's name
-// and server are captured before the insert publishes it: once queued,
-// another worker may steal it (rewriting server), run it, and recycle
-// the record.
+// is captured before the insert publishes it: once queued, another
+// worker may steal it, run it, and recycle the record.
 func (rt *Runtime) insertAndWake(t *task, from int) {
-	name, server := t.name, t.server
-	rt.insert(t, from)
+	name := t.name
+	server := rt.insert(t, from)
 	rt.trace(rt.workers[from], trace.KindEnqueue, -1, name, int64(server))
 	rt.wakeAfterEnqueue(server, from)
 }
@@ -679,12 +825,15 @@ func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn 
 	t := rt.newTask()
 	t.name, t.fn, t.payload, t.mon = name, fn, payload, mon
 	t.scope = c.scope
+	if in := rt.inj; in != nil && in.tracked[name] {
+		in.noteSpawn(t) // assigns the per-name index a fault plan targets
+	}
 	if !rt.pol.IgnoreHints && a.Kind == core.AffTask {
 		if t.scope != nil {
 			t.scope.n.Add(1)
 		}
 		rt.live.Add(1)
-		server := rt.placeSet(t, a.TaskObj, from) // t is published after this
+		server := rt.placeSet(t, a.TaskObj, &rt.cfg.Mon.Per[from]) // t is published after this
 		rt.trace(c.w, trace.KindEnqueue, -1, name, int64(server))
 		rt.wakeAfterEnqueue(server, from)
 		return
@@ -988,13 +1137,28 @@ func (rt *Runtime) runTask(w *worker, t *task) {
 	rt.trace(w, trace.KindRun, w.id, t.name, 0)
 	t.ctx = Ctx{w: w, rt: rt, scope: t.scope}
 	c := &t.ctx
+	var startNS int64
+	if w.fev != nil {
+		startNS = rt.nowNS()
+	}
 	rt.execute(c, t)
+	if fv := w.fev; fv != nil {
+		// An active slowdown window stretches the task's own duration
+		// by its factor — the straggler sleeps off the difference.
+		now := rt.nowNS()
+		if d := fv.slowdownPenalty(startNS, now-startNS, now); d > 0 {
+			rt.sleep(w, d)
+		}
+	}
 	rt.trace(w, trace.KindDone, w.id, t.name, 0)
 	w.busyNS += time.Since(start).Nanoseconds()
 	if t.scope != nil {
 		rt.scopeDone(t.scope)
 	}
 	rt.freeTask(t)
+	if rt.armed {
+		rt.completed.Add(1)
+	}
 	if rt.live.Add(-1) == 0 {
 		rt.doneOnce.Do(func() { close(rt.done) })
 	}
@@ -1002,19 +1166,40 @@ func (rt *Runtime) runTask(w *worker, t *task) {
 
 func (rt *Runtime) execute(c *Ctx, t *task) {
 	defer func() {
-		if r := recover(); r != nil {
-			rt.recordFailure(&TaskFailure{
-				Task:  t.name,
-				Proc:  c.w.id,
-				Time:  rt.nowNS(),
-				Value: r,
-				Stack: string(debug.Stack()),
-			})
+		r := recover()
+		if r == nil {
+			return
 		}
+		if _, ok := r.(stopUnwind); ok {
+			// A stopped run unwound this worker out of a blocked task
+			// body; the stop already recorded the run's failure.
+			return
+		}
+		_, injected := r.(InjectedPanic)
+		rt.recordFailure(&TaskFailure{
+			Task:     t.name,
+			Proc:     c.w.id,
+			Time:     rt.nowNS(),
+			Value:    r,
+			Stack:    string(debug.Stack()),
+			Injected: injected,
+		})
 	}()
+	if t.injPanic {
+		panic(InjectedPanic{Task: t.name})
+	}
 	if t.mon != nil {
 		c.Lock(t.mon)
-		defer c.Unlock(t.mon)
+		c.heldMon = t.mon
+		defer func() {
+			// heldMon is cleared if a stopped run unwound out of a
+			// Cond.Wait while the monitor was released — unlocking it
+			// again would corrupt the mutex.
+			if c.heldMon == t.mon {
+				c.heldMon = nil
+				c.Unlock(t.mon)
+			}
+		}()
 	}
 	if t.fn != nil {
 		t.fn(c)
@@ -1028,6 +1213,11 @@ type Ctx struct {
 	w     *worker
 	rt    *Runtime
 	scope *scope
+
+	// heldMon tracks the mutex-function monitor currently held by this
+	// task, so a stop-unwind out of a Cond.Wait (which releases the
+	// monitor) can tell execute's deferred unlock to stand down.
+	heldMon *Monitor
 }
 
 // ProcID returns the executing worker.

@@ -34,12 +34,25 @@ func (rt *Runtime) waitScope(c *Ctx, sc *scope) {
 	w := c.w
 	misses := 0
 	for {
+		if rt.armed {
+			if rt.stopped() {
+				// The run was aborted (deadline, watchdog, retry
+				// exhaustion); the awaited tasks will never finish.
+				// Unwind this worker out of the blocked task body —
+				// execute's recovery swallows the sentinel.
+				panic(stopUnwind{})
+			}
+			// Helping is still a dispatch point for slowdown/stall
+			// events; Fail stays deferred until the worker is back at
+			// top level (it is inside a task it must resume).
+			rt.checkFaults(w, false)
+		}
 		if sc.n.Load() == 0 {
 			return
 		}
 		if t := rt.take(w); t != nil {
 			misses = 0
-			rt.runTask(w, t)
+			rt.dispatch(w, t)
 			continue
 		}
 		misses++
@@ -65,6 +78,7 @@ func (rt *Runtime) waitScope(c *Ctx, sc *scope) {
 			select {
 			case <-w.wake:
 			case <-rt.done:
+			case <-rt.stopc:
 			}
 			w.idleNS += time.Since(start).Nanoseconds()
 		}
@@ -107,15 +121,28 @@ type Cond struct {
 
 // Wait atomically releases monitor m and blocks until Signal or
 // Broadcast, then reacquires m before returning. Callers must hold the
-// monitor and re-test their predicate (Mesa semantics).
+// monitor and re-test their predicate (Mesa semantics). A stopped run
+// (deadline, watchdog, retry exhaustion) unwinds the waiter instead of
+// leaving it blocked forever on a signal that will never come.
 func (c *Ctx) Wait(cv *Cond, m *Monitor) {
 	ch := make(chan struct{})
 	cv.mu.Lock()
 	cv.ws = append(cv.ws, ch)
 	cv.mu.Unlock()
+	held := c.heldMon == m
+	if held {
+		c.heldMon = nil // m is released; the deferred unlock must not fire
+	}
 	c.Unlock(m)
-	<-ch
+	select {
+	case <-ch:
+	case <-c.rt.stopc:
+		panic(stopUnwind{})
+	}
 	c.Lock(m)
+	if held {
+		c.heldMon = m
+	}
 }
 
 // Signal wakes one waiter, if any.

@@ -151,6 +151,17 @@ func checkCell(app apps.App, variant string, procs, size int) []string {
 		res, err := app.RunCfg(cool.Config{Processors: procs, Backend: cool.BackendNative}, variant, size)
 		check(fmt.Sprintf("native run %d", i), res, err)
 	}
+	// An armed native run: retries enabled and a generous deadline.
+	// With no faults injected neither can fire, so the robustness
+	// machinery (timekeeper goroutine, dispatch-point checks) must not
+	// perturb results — this is the overhead path's semantic check.
+	res, err = app.RunCfg(cool.Config{
+		Processors: procs,
+		Backend:    cool.BackendNative,
+		Retry:      &cool.RetryPolicy{},
+		Deadline:   30_000_000_000, // 30s wall clock: far beyond any cell
+	}, variant, size)
+	check("native armed", res, err)
 	return msgs
 }
 
