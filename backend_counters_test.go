@@ -114,14 +114,39 @@ func TestReportCountersConsistent(t *testing.T) {
 
 // TestWakeCountersObserved asserts each backend actually exercises the
 // two-level wakeup scheme on a parallel machine: spawning from a running
-// task while other processors idle must produce at least one wake.
+// task while other processors idle must produce at least one wake. Wakes
+// count only actual token deposits, so a native run can legitimately see
+// zero when the spawner outraces its siblings' first park — retry a few
+// times rather than assert on one race outcome.
 func TestWakeCountersObserved(t *testing.T) {
 	for _, be := range backends {
 		be := be
 		t.Run(be.name, func(t *testing.T) {
-			r := runWorkload(t, be.b, 8, 400)
-			if r.Total.TargetedWakes+r.Total.BroadcastWakes == 0 {
-				t.Errorf("no wakes recorded on an 8-processor machine running 400 tasks")
+			for attempt := 0; attempt < 5; attempt++ {
+				r := runWorkload(t, be.b, 8, 400)
+				if r.Total.TargetedWakes+r.Total.BroadcastWakes > 0 {
+					return
+				}
+			}
+			t.Errorf("no wakes recorded across 5 runs of 400 tasks on an 8-processor machine")
+		})
+	}
+}
+
+// TestNoWakesOnLoneProcessor is the counter-inflation regression guard:
+// on a single-processor machine the enqueuing worker is by definition
+// running, so the parked mask is empty at every wake decision and no
+// token is ever deposited. A wake counter that increments on the
+// decision rather than the deposit shows up here as hundreds of
+// phantom wakes.
+func TestNoWakesOnLoneProcessor(t *testing.T) {
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			r := runWorkload(t, be.b, 1, 400)
+			if n := r.Total.TargetedWakes + r.Total.BroadcastWakes; n != 0 {
+				t.Errorf("lone-processor run recorded %d wakes (targeted=%d broadcast=%d), want 0",
+					n, r.Total.TargetedWakes, r.Total.BroadcastWakes)
 			}
 		})
 	}

@@ -74,10 +74,13 @@ func (c *Ctx) Access(addr, size int64, write bool) {
 }
 
 // spawnOptions accumulates the affinity specification of one spawn.
+// objs aliases objsBuf until a spawn names more than two objects, so the
+// common one-object case costs no heap allocation on the spawn path.
 type spawnOptions struct {
-	aff   core.Affinity
-	mutex *Monitor
-	objs  []sizedObj // OBJECT affinity operands (one or several)
+	aff     core.Affinity
+	mutex   *Monitor
+	objs    []sizedObj // OBJECT affinity operands (one or several)
+	objsBuf [2]sizedObj
 }
 
 // sizedObj is one OBJECT affinity operand with an optional size used to
@@ -129,6 +132,9 @@ func (op SpawnOpt) apply(o *spawnOptions) {
 			o.aff.Kind = core.AffTaskObject
 		}
 	case optObjectSized:
+		if o.objs == nil {
+			o.objs = o.objsBuf[:0]
+		}
 		o.objs = append(o.objs, sizedObj{addr: op.addr, size: op.size})
 		o.aff.ObjectObj = op.addr
 		switch o.aff.Kind {
@@ -258,6 +264,59 @@ func (c *Ctx) Spawn(name string, fn func(*Ctx), opts ...SpawnOpt) {
 	t.Data = td
 	td.T = t
 	rt.sched.Enqueue(td, c.sc.Now())
+}
+
+// SpawnN creates n sibling tasks running fn(c, i) for i in [0, n); opts,
+// when non-nil, supplies member i's spawn options. Semantically it is
+// exactly the loop `for i { Spawn(name, func(c){fn(c,i)}, opts(i)...) }`,
+// and the simulator executes it as that literal loop, so converting a
+// spawn loop leaves every simulated figure unchanged. The native backend
+// instead publishes the burst as one batch — one queue publish and one
+// wake decision instead of n (counted by SpawnBatches) — which is where
+// spawn-heavy phases win.
+//
+// The slice opts returns is consumed before opts is called for the next
+// member, so a caller may fill and return the same backing buffer every
+// call rather than allocate one per member.
+func (c *Ctx) SpawnN(name string, n int, fn func(*Ctx, int), opts func(i int) []SpawnOpt) {
+	if c.nc != nil {
+		c.spawnNNative(name, n, fn, opts)
+		return
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		var o []SpawnOpt
+		if opts != nil {
+			o = opts(i)
+		}
+		c.Spawn(name, func(cc *Ctx) { fn(cc, i) }, o...)
+	}
+}
+
+// spawnNNative lowers a SpawnN burst onto the goroutine backend: each
+// member's affinity resolution (including the multiple-object §4.1
+// heuristic) matches spawnNative's, and fn rides the whole batch as one
+// shared payload, run per member through native Config.InvokeN with the
+// member index.
+func (c *Ctx) spawnNNative(name string, n int, fn func(*Ctx, int), opts func(i int) []SpawnOpt) {
+	rt := c.rt
+	get := func(i int) (core.Affinity, *native.Monitor) {
+		var o spawnOptions
+		if opts != nil {
+			for _, opt := range opts(i) {
+				opt.apply(&o)
+			}
+		}
+		if len(o.objs) > 1 {
+			o.aff.ObjectObj = o.objs[pickHome(rt, o.objs)].addr
+		}
+		var nm *native.Monitor
+		if o.mutex != nil {
+			nm = &o.mutex.nm
+		}
+		return o.aff, nm
+	}
+	c.nc.SpawnN(name, n, get, fn)
 }
 
 // spawnNative places and enqueues one task on the goroutine backend.

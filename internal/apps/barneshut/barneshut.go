@@ -354,19 +354,16 @@ func (ap *app) step(ctx *cool.Ctx, parallel bool) {
 		}
 		return
 	}
+	optBuf := make([]cool.SpawnOpt, 1)
+	groupOpt := func(g int) []cool.SpawnOpt {
+		optBuf[0] = cool.OnObject(ap.groups[g].Base)
+		return optBuf
+	}
 	ctx.WaitFor(func() {
-		for g := 0; g < ap.prm.Groups; g++ {
-			g := g
-			ctx.Spawn("forces", func(c *cool.Ctx) { ap.groupForces(c, g) },
-				cool.OnObject(ap.groups[g].Base))
-		}
+		ctx.SpawnN("forces", ap.prm.Groups, ap.groupForces, groupOpt)
 	})
 	ctx.WaitFor(func() {
-		for g := 0; g < ap.prm.Groups; g++ {
-			g := g
-			ctx.Spawn("advance", func(c *cool.Ctx) { ap.groupAdvance(c, g) },
-				cool.OnObject(ap.groups[g].Base))
-		}
+		ctx.SpawnN("advance", ap.prm.Groups, ap.groupAdvance, groupOpt)
 	})
 }
 

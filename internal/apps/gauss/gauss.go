@@ -117,21 +117,26 @@ func (ap *app) update(ctx *cool.Ctx, j, k int) {
 // column, with an update task per remaining column.
 func (ap *app) run(ctx *cool.Ctx, v Variant) {
 	n := ap.prm.N
+	optBuf := make([]cool.SpawnOpt, 2)
 	for k := 0; k < n-1; k++ {
 		src := ap.cols[k]
+		k := k
 		ctx.WaitFor(func() {
-			for j := k + 1; j < n; j++ {
-				j := j
-				dst := ap.cols[j]
-				opts := []cool.SpawnOpt{}
+			ctx.SpawnN("update", n-1-k, func(c *cool.Ctx, i int) {
+				ap.update(c, k+1+i, k)
+			}, func(i int) []cool.SpawnOpt {
+				dst := ap.cols[k+1+i]
 				switch v {
 				case ObjectOnly:
-					opts = append(opts, cool.ObjectAffinity(dst.Base))
+					optBuf[0] = cool.ObjectAffinity(dst.Base)
+					return optBuf[:1]
 				case TaskObject:
-					opts = append(opts, cool.TaskAffinity(src.Base), cool.ObjectAffinity(dst.Base))
+					optBuf[0] = cool.TaskAffinity(src.Base)
+					optBuf[1] = cool.ObjectAffinity(dst.Base)
+					return optBuf
 				}
-				ctx.Spawn("update", func(c *cool.Ctx) { ap.update(c, j, k) }, opts...)
-			}
+				return nil
+			})
 		})
 	}
 }

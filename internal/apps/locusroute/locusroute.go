@@ -232,12 +232,14 @@ func (ap *app) route(ctx *cool.Ctx, w *wire) {
 
 // iteration routes every wire once inside a waitfor.
 func (ap *app) iteration(ctx *cool.Ctx, procs int) {
+	optBuf := make([]cool.SpawnOpt, 1)
 	ctx.WaitFor(func() {
-		for i := range ap.wires {
-			w := &ap.wires[i]
-			ctx.Spawn("route", func(c *cool.Ctx) { ap.route(c, w) },
-				cool.OnProcessor(ap.region(w)%procs))
-		}
+		ctx.SpawnN("route", len(ap.wires), func(c *cool.Ctx, i int) {
+			ap.route(c, &ap.wires[i])
+		}, func(i int) []cool.SpawnOpt {
+			optBuf[0] = cool.OnProcessor(ap.region(&ap.wires[i]) % procs)
+			return optBuf
+		})
 	})
 }
 

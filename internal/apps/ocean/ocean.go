@@ -160,12 +160,12 @@ func (ap *app) axpy(ctx *cool.Ctx, src, dst *cool.F64, r int, alpha float64) {
 // gridOp runs one whole-grid operation: a waitfor over one region task
 // per region, each with affinity for its destination region.
 func (ap *app) gridOp(ctx *cool.Ctx, name string, dstGrid int, body func(c *cool.Ctx, r int)) {
+	optBuf := make([]cool.SpawnOpt, 1)
 	ctx.WaitFor(func() {
-		for r := 0; r < ap.prm.Regions; r++ {
-			r := r
-			ctx.Spawn(name, func(c *cool.Ctx) { body(c, r) },
-				cool.OnObject(ap.regionAddr(dstGrid, r)))
-		}
+		ctx.SpawnN(name, ap.prm.Regions, body, func(r int) []cool.SpawnOpt {
+			optBuf[0] = cool.OnObject(ap.regionAddr(dstGrid, r))
+			return optBuf
+		})
 	})
 }
 

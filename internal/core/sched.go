@@ -371,19 +371,28 @@ func (s *Scheduler) Resume(td *TaskDesc, now int64) {
 // before thieves do. While the machine-wide backlog is shallow only the
 // first wakeFanout idle processors are woken (a full broadcast would
 // wake every parked processor to race for at most a handful of tasks);
-// once queues back up the wake falls back to broadcast.
+// once queues back up the wake falls back to broadcast. Counters record
+// only wakes that reached a parked processor other than the home server
+// — the home server's direct notify is the uncounted NotifyProc, so an
+// idle-free machine (or a lone processor waking itself) counts nothing,
+// matching the native backend's token-deposit accounting (there the
+// direct target's token slot is already full when the policy runs).
 func (s *Scheduler) wake(server int, now int64) {
+	self := 0
+	if s.Eng.Procs[server].Parked() {
+		self = 1 // home server is among the idle bits; its notify is direct
+	}
 	s.Eng.NotifyProc(s.Eng.Procs[server], now)
 	if s.Pol.DisableStealing {
 		return
 	}
 	t := now + s.Cfg.Lat.IdlePoll
 	if s.queuedTotal > wakeFanout {
-		s.Mon.Per[server].BroadcastWakes++
-		s.Eng.NotifyWork(t)
-	} else {
+		if s.Eng.NotifyWork(t) > self {
+			s.Mon.Per[server].BroadcastWakes++
+		}
+	} else if s.Eng.NotifyIdle(t, wakeFanout) > self {
 		s.Mon.Per[server].TargetedWakes++
-		s.Eng.NotifyIdle(t, wakeFanout)
 	}
 }
 

@@ -31,8 +31,12 @@ type Space struct {
 	clusters    int
 	clusterSize int
 	procs       int
-	next        []int64         // per-cluster bump pointer
-	pageProc    map[int64]int32 // page index -> home processor
+	next        []int64 // per-cluster bump pointer
+	// pageProc[c] maps a page offset within cluster c's arena to the
+	// page's home processor (-1 = unrecorded). Arenas are bump-allocated,
+	// so offsets are dense and a flat table beats a map on the home
+	// lookup that placement performs per spawned task.
+	pageProc [][]int32
 }
 
 // New creates an address space for the given machine.
@@ -43,8 +47,8 @@ func New(cfg machine.Config) *Space {
 		clusters:    cfg.Clusters(),
 		clusterSize: cfg.ClusterSize,
 		procs:       cfg.Processors,
-		pageProc:    make(map[int64]int32),
 	}
+	s.pageProc = make([][]int32, cfg.Clusters())
 	s.next = make([]int64, s.clusters)
 	for c := range s.next {
 		// Skip the first page of each arena so address 0 is never valid.
@@ -98,19 +102,37 @@ func (s *Space) AllocPages(size int64, proc int) int64 {
 	return base
 }
 
+// pageOffset maps addr to (arena cluster, page offset within that
+// arena). Every allocation lives inside a single arena, so a span's
+// pages share one table.
+func (s *Space) pageOffset(addr int64) (int, int64) {
+	c := s.arenaCluster(addr)
+	return c, (addr >> s.pageShift) - int64(c+1)<<(arenaShift-s.pageShift)
+}
+
+// growTable extends cluster c's page table to cover offset off,
+// filling new entries with -1 (unrecorded).
+func (s *Space) growTable(c int, off int64) {
+	t := s.pageProc[c]
+	for int64(len(t)) <= off {
+		t = append(t, -1)
+	}
+	s.pageProc[c] = t
+}
+
 // recordPages stores the home processor of every page spanned by
 // [addr, addr+size). When overwrite is false, pages that already have a
 // home (shared with an earlier small allocation) keep it.
 func (s *Space) recordPages(addr, size int64, proc int, overwrite bool) {
-	first := addr >> s.pageShift
-	last := (addr + size - 1) >> s.pageShift
+	c, first := s.pageOffset(addr)
+	last := first + ((addr+size-1)>>s.pageShift - addr>>s.pageShift)
+	s.growTable(c, last)
+	t := s.pageProc[c]
 	for pg := first; pg <= last; pg++ {
-		if !overwrite {
-			if _, ok := s.pageProc[pg]; ok {
-				continue
-			}
+		if !overwrite && t[pg] >= 0 {
+			continue
 		}
-		s.pageProc[pg] = int32(proc)
+		t[pg] = int32(proc)
 	}
 }
 
@@ -129,21 +151,23 @@ func (s *Space) Migrate(addr, size int64, proc int) int {
 
 // HomeProc returns the processor that homes the page containing addr.
 func (s *Space) HomeProc(addr int64) int {
-	if p, ok := s.pageProc[addr>>s.pageShift]; ok {
-		return int(p)
+	c, off := s.pageOffset(addr)
+	if t := s.pageProc[c]; off < int64(len(t)) && t[off] >= 0 {
+		return int(t[off])
 	}
 	// Unrecorded page: attribute it to the first processor of the
 	// arena's cluster.
-	return s.arenaCluster(addr) * s.clusterSize
+	return c * s.clusterSize
 }
 
 // HomeCluster returns the cluster whose local memory holds the page
 // containing addr (the unit the cache model charges against).
 func (s *Space) HomeCluster(addr int64) int {
-	if p, ok := s.pageProc[addr>>s.pageShift]; ok {
-		return s.clusterOf(int(p))
+	c, off := s.pageOffset(addr)
+	if t := s.pageProc[c]; off < int64(len(t)) && t[off] >= 0 {
+		return s.clusterOf(int(t[off]))
 	}
-	return s.arenaCluster(addr)
+	return c
 }
 
 func (s *Space) arenaCluster(addr int64) int {

@@ -16,6 +16,7 @@ package native
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -58,6 +59,18 @@ type Config struct {
 	// used.
 	Invoke func(*Ctx, any)
 
+	// InvokeN runs one member of a SpawnN batch: the shared payload plus
+	// the member's index. Required only if SpawnN is used.
+	InvokeN func(*Ctx, any, int)
+
+	// MutexQueue selects the pre-deque scheduler: every per-worker queue
+	// (including the plain queue) lives under the worker's mutex, and
+	// spawns insert and wake one task at a time. It exists so the
+	// lock-free deque's win stays measurable in-tree (the coolbench
+	// -bench-native-queue=mutex A/B arm); the default is the Chase-Lev
+	// deque plus lock-free inbox.
+	MutexQueue bool
+
 	// TraceCapacity, when positive, bounds the merged scheduler event
 	// trace (timestamps are wall-clock nanoseconds since Run).
 	TraceCapacity int
@@ -98,12 +111,14 @@ func (f *TaskFailure) Error() string {
 	return fmt.Sprintf("native: task %q panicked on P%d at %dns: %v", f.Task, f.Proc, f.Time, f.Value)
 }
 
-// task is one spawned task record. Records are pooled: a completed task
-// is zeroed and reused by a later spawn.
+// task is one spawned task record. Records are recycled through the
+// executing worker's freelist: a completed task is zeroed and reused by
+// a later spawn on that worker.
 type task struct {
 	name    string
 	fn      func(*Ctx) // nil for payload tasks, run through Config.Invoke
 	payload any
+	idx     int32 // SpawnN member index, -1 for single spawns
 	class   core.Class
 	server  int
 	slot    int   // task-affinity queue index, -1 for the plain queue
@@ -125,22 +140,46 @@ type task struct {
 	// only while the task executes on its worker.
 	ctx Ctx
 
-	// Intrusive queue links.
+	// Intrusive links: next/prev/q while in a locked taskQueue, next
+	// alone while riding an inbox chain or a worker freelist (a record
+	// is in at most one of those states at a time).
 	next, prev *task
 	q          *taskQueue
 }
 
-// worker is one executor goroutine's scheduling state. The queue fields
-// are guarded by mu; busyNS/idleNS and events are owned by the worker's
-// goroutine (read only after Run returns).
+// worker is one executor goroutine's scheduling state.
+//
+// In the default deque mode the structures split by who may touch them:
+// deq holds the worker's plain tasks (owner pushes/pops lock-free,
+// thieves CAS), inbox receives every cross-worker insert (and the
+// owner's own pinned/object-bound self-inserts) lock-free, and the
+// mutex guards only the structured queues — the task-affinity slots,
+// the pinned queue, and whole-set moves through the sharded set table.
+// In mutex mode (Config.MutexQueue, the A/B baseline) plain tasks live
+// in the locked plain queue exactly as before the deque rewrite and
+// deq/inbox/pinned stay empty. busyNS/idleNS, events, the freelist, and
+// the scratch slices are owned by the worker's goroutine.
 type worker struct {
 	id       int
 	mu       sync.Mutex
-	plain    taskQueue
+	plain    taskQueue // mutex mode only
 	slots    []taskQueue
 	nonEmpty nonEmptyList
 	cur      *taskQueue // slot being drained back to back
+	pinned   taskQueue  // deque mode: ClassProcessor tasks (mu)
 	queued   atomic.Int64
+
+	deq   chaseLev // deque mode: plain tasks
+	inbox inbox    // deque mode: cross-worker (and structured self) inserts
+
+	// lockedWork counts the tasks in the mutex-guarded structures (slots
+	// plus pinned); take probes the lock only when it is nonzero.
+	// setQueued counts the queued task-affinity set members, so a thief
+	// checks the sets-first steal phase without the victim's lock. Both
+	// are maintained only in deque mode (mutex mode never reads them)
+	// and written only under mu.
+	lockedWork atomic.Int64
+	setQueued  atomic.Int64
 
 	// stealable counts the queued tasks any thief may take outright
 	// (plain tasks and task-affinity set members — not processor-pinned
@@ -154,6 +193,22 @@ type worker struct {
 	// setScratch batches the members of a set being moved by stealSet,
 	// reused across steals to keep the move allocation-free.
 	setScratch []*task
+
+	// free is the worker's task-record freelist (linked through t.next),
+	// touched only by the worker's own goroutine: records are recycled by
+	// runTask and handed out by spawns issued from tasks running here.
+	free  *task
+	freeN int
+
+	// Reused scratch slices owned by the worker's goroutine: inbox drains
+	// reverse the swapped chain here, SpawnN builds its batch here and
+	// chains structured cross-worker records per target (spawnHeads and
+	// spawnTails are lazily sized to Procs on first mixed batch).
+	inboxScratch []*task
+	spawnScratch []*task
+	spawnHeads   []*task
+	spawnTails   []*task
+	spawnOrder   []int
 
 	wake  chan struct{} // cap 1; parking/wakeup token
 	timer *time.Timer   // reused across timed parks; nil until first use
@@ -226,7 +281,10 @@ type Runtime struct {
 	deadlineNS   int64
 	noProgressNS int64
 
-	pool    sync.Pool
+	// deque selects the lock-free scheduler (Chase-Lev deques + inboxes,
+	// the default); false is the mutex-queue A/B baseline.
+	deque bool
+
 	start   time.Time
 	elapsed atomic.Int64
 	ran     bool
@@ -266,13 +324,14 @@ func New(cfg Config) (*Runtime, error) {
 		rt.shards[i].home = make(map[int64]int)
 	}
 	rt.clusterOnly.Store(pol.ClusterStealingOnly)
-	rt.pool.New = func() any { return new(task) }
+	rt.deque = !cfg.MutexQueue
 	rt.workers = make([]*worker, cfg.Procs)
 	for i := range rt.workers {
 		w := &worker{id: i, slots: make([]taskQueue, pol.QueueArraySize), wake: make(chan struct{}, 1)}
 		for j := range w.slots {
 			w.slots[j].slotIdx = j
 		}
+		w.deq.init()
 		rt.workers[i] = w
 	}
 	rt.buildVictimRings()
@@ -348,7 +407,7 @@ func (rt *Runtime) Run(main func(*Ctx)) error {
 	}
 	rt.ran = true
 	rt.start = time.Now()
-	root := rt.newTask()
+	root := rt.newTask(nil)
 	root.name, root.fn = "main", main
 	root.class, root.server, root.slot = core.ClassProcessor, 0, -1
 	rt.live.Store(1)
@@ -400,15 +459,39 @@ func (rt *Runtime) trace(w *worker, kind trace.Kind, proc int, name string, arg 
 	w.events = append(w.events, trace.Event{Time: rt.nowNS(), Proc: int32(proc), Kind: kind, Task: name, Arg: arg})
 }
 
-func (rt *Runtime) newTask() *task {
-	t := rt.pool.Get().(*task)
-	*t = task{slot: -1}
-	return t
+// freeListCap bounds a worker's task-record freelist; records past it go
+// to the garbage collector.
+const freeListCap = 256
+
+// newTask returns a zeroed task record with the sentinel placement
+// fields set. With a worker (its own goroutine — spawns and retries
+// issued from a running task) the record comes from that worker's
+// freelist without any synchronization; w == nil (the root task, tests)
+// heap-allocates.
+func (rt *Runtime) newTask(w *worker) *task {
+	if w != nil && w.free != nil {
+		t := w.free
+		w.free = t.next
+		w.freeN--
+		t.next = nil
+		t.slot, t.idx = -1, -1
+		return t
+	}
+	return &task{slot: -1, idx: -1}
 }
 
-func (rt *Runtime) freeTask(t *task) {
+// freeTask recycles t onto w's freelist. Called only by the worker that
+// just executed t (runTask), so the record has no other referent: a
+// thief that once held it gave up ownership when it handed the task to
+// dispatch, and inbox chains never contain a running task.
+func (rt *Runtime) freeTask(w *worker, t *task) {
+	if w == nil || w.freeN >= freeListCap {
+		return
+	}
 	*t = task{}
-	rt.pool.Put(t)
+	t.next = w.free
+	w.free = t
+	w.freeN++
 }
 
 func (rt *Runtime) recordFailure(err error) {
@@ -459,6 +542,18 @@ func stallBackoff(misses int) time.Duration {
 // exits before taking more work.
 func (rt *Runtime) loop(w *worker) {
 	misses := 0
+	// Busy time is measured per dispatch burst — one clock read when the
+	// worker turns busy and one when it runs dry — not per task: two
+	// time.Now calls on every microsecond-scale task showed up as ~15%
+	// of a scheduler-bound profile.
+	var busyMark time.Time
+	closeBurst := func() {
+		if !busyMark.IsZero() {
+			w.busyNS += time.Since(busyMark).Nanoseconds()
+			busyMark = time.Time{}
+		}
+	}
+	defer closeBurst()
 	for {
 		if rt.armed {
 			if rt.stopped() {
@@ -469,10 +564,14 @@ func (rt *Runtime) loop(w *worker) {
 			}
 		}
 		if t := rt.take(w); t != nil {
+			if busyMark.IsZero() {
+				busyMark = time.Now()
+			}
 			misses = 0
 			rt.dispatch(w, t)
 			continue
 		}
+		closeBurst()
 		select {
 		case <-rt.done:
 			return
@@ -498,6 +597,17 @@ func (rt *Runtime) dispatch(w *worker, t *task) {
 // when unstealable work is backlogged elsewhere, for an exponentially
 // growing backoff.
 func (rt *Runtime) park(w *worker, misses int) {
+	// Drop any stale wake token first: a timed park that expired on its
+	// own, or the early recheck return below, leaves a deposited token
+	// behind, and that token would end the next genuine park instantly —
+	// one spurious park/unpark round-trip. Draining here cannot lose a
+	// wakeup, because every token sender publishes its condition (queue
+	// count, scope count, fault-event index) before depositing, and the
+	// rechecks after setParked observe those conditions afresh.
+	select {
+	case <-w.wake:
+	default:
+	}
 	rt.setParked(w.id, true)
 	defer rt.setParked(w.id, false)
 	queued := rt.queuedTotal.Load() > 0
@@ -555,56 +665,82 @@ func (rt *Runtime) setParked(id int, on bool) {
 	}
 }
 
-// wakeWorker hands worker i a wake token if none is pending.
-func (rt *Runtime) wakeWorker(i int) {
+// wakeWorker hands worker i a wake token if none is pending, reporting
+// whether one was actually deposited.
+func (rt *Runtime) wakeWorker(i int) bool {
 	select {
 	case rt.workers[i].wake <- struct{}{}:
+		return true
 	default:
+		return false
 	}
 }
 
-// wakeAfterEnqueue mirrors the simulator's wake policy: the target
-// worker is notified immediately; while the machine-wide backlog is
-// shallow only the first wakeFanout parked workers are woken, falling
-// back to waking every parked worker once queues back up. Wake counters
-// are attributed to the enqueueing worker's row (the simulator charges
-// the target server; totals remain comparable, attribution is
-// documented in DESIGN.md §9).
+// wakeTargets notifies every worker in the bitmask whose parked bit is
+// set — the direct "your queue just got work" notification (the analog
+// of the simulator's NotifyProc), uncounted like the simulator's.
 //
-// A wake token is deposited only for workers whose parked bit is set.
-// This cannot lose a wakeup: a parking worker publishes its bit before
-// re-reading the queue count, and an enqueuer bumps the queue count
-// before reading the mask (both are sequentially consistent atomics) —
-// so either the parker sees the new work and returns, or the enqueuer
-// sees the parker's bit and wakes it.
-func (rt *Runtime) wakeAfterEnqueue(target, from int) {
-	if rt.parked.Load()&(1<<uint(target)) != 0 {
-		rt.wakeWorker(target)
+// A token is deposited only for parked workers, which cannot lose a
+// wakeup: a parking worker publishes its bit before re-reading the
+// queue count, and an enqueuer bumps the queue count before reading the
+// mask (both sequentially consistent atomics) — so either the parker
+// sees the new work and returns, or the enqueuer sees the bit.
+func (rt *Runtime) wakeTargets(targets uint64) {
+	m := targets & rt.parked.Load()
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &= m - 1
+		rt.wakeWorker(i)
 	}
+}
+
+// wakePolicy applies the two-level wake scheme after work was enqueued:
+// while the machine-wide backlog is shallow only the first wakeFanout
+// parked workers are woken (targeted), falling back to waking every
+// parked worker once queues back up (broadcast). Counters are bumped
+// once per call and only when at least one token was actually
+// deposited — an empty parked mask or all-full token channels wake
+// nobody and count nothing. Attribution is to the enqueueing worker's
+// row (the simulator charges the target server; totals remain
+// comparable, documented in DESIGN.md §9).
+func (rt *Runtime) wakePolicy(ctr *perfmon.Counters) {
 	if rt.pol.DisableStealing {
 		return
 	}
-	ctr := &rt.cfg.Mon.Per[from]
 	mask := rt.parked.Load()
-	if rt.queuedTotal.Load() > wakeFanout {
-		ctr.BroadcastWakes++
-		for i := 0; mask != 0 && i < rt.cfg.Procs; i++ {
-			if mask&(1<<uint(i)) != 0 {
-				rt.wakeWorker(i)
-				mask &^= 1 << uint(i)
-			}
+	if mask == 0 {
+		return
+	}
+	broadcast := rt.queuedTotal.Load() > wakeFanout
+	deposited, attempted := 0, 0
+	for mask != 0 {
+		if !broadcast && attempted >= wakeFanout {
+			break
 		}
-	} else {
-		ctr.TargetedWakes++
-		woken := 0
-		for i := 0; mask != 0 && i < rt.cfg.Procs && woken < wakeFanout; i++ {
-			if mask&(1<<uint(i)) != 0 {
-				rt.wakeWorker(i)
-				mask &^= 1 << uint(i)
-				woken++
-			}
+		i := bits.TrailingZeros64(mask)
+		mask &= mask - 1
+		attempted++
+		if rt.wakeWorker(i) {
+			deposited++
 		}
 	}
+	if deposited == 0 {
+		return
+	}
+	if broadcast {
+		ctr.BroadcastWakes++
+	} else {
+		ctr.TargetedWakes++
+	}
+}
+
+// wakeAfterEnqueue notifies the target worker directly, then applies
+// the machine-wide wake policy — the per-insert composition used by
+// every single-task enqueue path (SpawnN batches call wakeTargets once
+// over the whole target set and wakePolicy once per batch instead).
+func (rt *Runtime) wakeAfterEnqueue(target, from int) {
+	rt.wakeTargets(1 << uint(target))
+	rt.wakePolicy(&rt.cfg.Mon.Per[from])
 }
 
 // place resolves an affinity specification against Table 1's semantics,
@@ -755,13 +891,25 @@ func (rt *Runtime) leastLoaded() int {
 	return best
 }
 
-// pushLocked adds t to w's queues. Called with w.mu held; the caller
-// accounts queuedTotal after releasing the lock.
+// pushLocked adds t to w's queues with full accounting. Called with
+// w.mu held; the caller accounts queuedTotal after releasing the lock.
+// In deque mode only structured tasks reach it (sets through placeSet,
+// pinned and object-bound records through the mutex fallback paths);
+// plain tasks ride the deque and inbox instead.
 func (rt *Runtime) pushLocked(w *worker, t *task) {
 	if t.slot >= 0 {
 		q := &w.slots[t.slot]
 		q.push(t)
 		w.nonEmpty.add(q)
+		if rt.deque {
+			w.lockedWork.Add(1)
+			if t.class == core.ClassTaskSet {
+				w.setQueued.Add(1)
+			}
+		}
+	} else if rt.deque && t.class != core.ClassPlain {
+		w.pinned.push(t)
+		w.lockedWork.Add(1)
 	} else {
 		w.plain.push(t)
 	}
@@ -771,18 +919,144 @@ func (rt *Runtime) pushLocked(w *worker, t *task) {
 	}
 }
 
-// insert pushes t onto its server's queues (taking that worker's lock
-// and no other — the owner-local and cross-worker paths are the same
-// single acquisition), returning the worker it went to. A dead server
-// is rerouted to a survivor under the target's lock; the extra check is
-// one atomic load while no worker has retired.
-func (rt *Runtime) insert(t *task, actor int) int {
-	return rt.insertFrom(t, &rt.cfg.Mon.Per[actor])
+// pushStructLocked routes one inbox-drained record into w's locked
+// structures (w.mu held, deque mode only). Counter-free by design: the
+// record was fully accounted (queued, stealable, queuedTotal) when it
+// was inserted; only the lock-guarded occupancy hints move here.
+func (rt *Runtime) pushStructLocked(w *worker, t *task) {
+	if t.slot >= 0 {
+		q := &w.slots[t.slot]
+		q.push(t)
+		w.nonEmpty.add(q)
+	} else {
+		w.pinned.push(t)
+	}
+	w.lockedWork.Add(1)
+	if t.class == core.ClassTaskSet {
+		w.setQueued.Add(1)
+	}
 }
 
-// insertFrom is insert with an explicit contention sink (the timekeeper
-// goroutine passes its scratch counters).
-func (rt *Runtime) insertFrom(t *task, ctr *perfmon.Counters) int {
+// drainInbox moves everything other workers pushed into w's inbox since
+// the last drain into the structures dispatch reads: plain records onto
+// the owner's deque, pinned and object-bound records under the lock.
+// Owner only; the lock is taken at most once and only when a structured
+// record arrived. Inserts already accounted every counter, so the drain
+// moves records without touching queued/stealable/queuedTotal. The
+// swapped chain is newest-first; reversing through inboxScratch
+// restores arrival order.
+func (rt *Runtime) drainInbox(w *worker) {
+	if w.inbox.empty() {
+		return
+	}
+	chain := w.inbox.swapAll()
+	if chain == nil {
+		return
+	}
+	buf := w.inboxScratch[:0]
+	for t := chain; t != nil; t = t.next {
+		buf = append(buf, t)
+	}
+	locked := false
+	for i := len(buf) - 1; i >= 0; i-- {
+		t := buf[i]
+		t.next = nil
+		buf[i] = nil
+		if t.class == core.ClassPlain {
+			w.deq.pushBottom(t)
+			continue
+		}
+		if !locked {
+			rt.lockWorker(w, w.id)
+			locked = true
+		}
+		rt.pushStructLocked(w, t)
+	}
+	if locked {
+		w.mu.Unlock()
+	}
+	w.inboxScratch = buf[:0]
+}
+
+// sweepInbox drains a retired worker's inbox and re-inserts every record
+// on a survivor. Called by the retirement drain and by any pusher that
+// observed the dead bit after its push landed — the swapAll hand-off
+// makes concurrent sweeps safe (each record appears in exactly one swap
+// result), so the sweep is idempotent. The records were accounted
+// against the dead target at insert time; each is unaccounted here and
+// re-accounted by the fresh insert. Rerouting at this point is
+// placement, not redistribution, so Redistributed is not counted (the
+// distinction TestRedistributedCounterThroughReportNative pins down).
+func (rt *Runtime) sweepInbox(w *worker, ctr *perfmon.Counters) {
+	chain := w.inbox.swapAll()
+	moved := false
+	for chain != nil {
+		t := chain
+		chain = chain.next
+		t.next = nil
+		w.queued.Add(-1)
+		if t.class == core.ClassPlain || t.class == core.ClassTaskSet {
+			w.stealable.Add(-1)
+		}
+		rt.queuedTotal.Add(-1)
+		t.server = rt.rerouteTarget(t)
+		sv := rt.insertFrom(t, ctr, nil)
+		rt.wakeTargets(1 << uint(sv))
+		moved = true
+	}
+	if moved {
+		rt.wakePolicy(ctr)
+	}
+}
+
+// insert pushes t onto its server's queues, returning the worker it
+// went to. actor is the id of the worker whose goroutine is running.
+func (rt *Runtime) insert(t *task, actor int) int {
+	return rt.insertFrom(t, &rt.cfg.Mon.Per[actor], rt.workers[actor])
+}
+
+// insertFrom is insert with an explicit contention sink and the worker
+// whose goroutine is executing the call (nil when the caller is not a
+// worker goroutine — the timekeeper, a retirement drain, an inbox
+// sweep; self only enables the owner's lock-free fast path, it is never
+// required for correctness).
+//
+// Deque mode counts, then publishes: the per-worker and machine hints
+// are bumped before the record becomes visible, so any consumer that
+// finds the record also finds counts covering it (consumers decrement
+// after taking). The owner's own plain spawns go straight onto its
+// deque bottom; everything else lands in the target's inbox with one
+// CAS. A dead target is rerouted up front, and re-checked after the
+// push: the retirement drain publishes the dead bit before sweeping, so
+// a push that raced the sweep re-sweeps the inbox itself.
+//
+// Mutex mode is the pre-deque path: one lock per insert, dead targets
+// rerouted under the target's lock.
+func (rt *Runtime) insertFrom(t *task, ctr *perfmon.Counters, self *worker) int {
+	if rt.deque {
+		for {
+			sv := t.server
+			if rt.dead.Load() != 0 && rt.isDead(sv) {
+				t.server = rt.rerouteTarget(t)
+				continue
+			}
+			w := rt.workers[sv]
+			w.queued.Add(1)
+			if t.class == core.ClassPlain || t.class == core.ClassTaskSet {
+				w.stealable.Add(1)
+			}
+			rt.queuedTotal.Add(1)
+			if self == w && t.class == core.ClassPlain {
+				w.deq.pushBottom(t)
+				return sv
+			}
+			w.inbox.push(t)
+			if rt.dead.Load() != 0 && rt.isDead(sv) {
+				rt.sweepInbox(w, ctr)
+			}
+			return sv
+		}
+	}
 	for {
 		sv := t.server
 		w := rt.workers[sv]
@@ -819,11 +1093,11 @@ func (rt *Runtime) insertAndWake(t *task, from int) {
 // must not charge a task that was never enqueued — a leaked live count
 // would keep done from ever closing and hang Run instead of returning
 // the recorded failure.
-func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn func(*Ctx), payload any) {
+func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn func(*Ctx), payload any, idx int32) {
 	from := c.w.id
 	rt.cfg.Mon.Per[from].Spawns++
-	t := rt.newTask()
-	t.name, t.fn, t.payload, t.mon = name, fn, payload, mon
+	t := rt.newTask(c.w)
+	t.name, t.fn, t.payload, t.mon, t.idx = name, fn, payload, mon, idx
 	t.scope = c.scope
 	if in := rt.inj; in != nil && in.tracked[name] {
 		in.noteSpawn(t) // assigns the per-name index a fault plan targets
@@ -846,10 +1120,198 @@ func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn 
 	rt.insertAndWake(t, from)
 }
 
+// spawnN creates, places, and enqueues n sibling tasks sharing one
+// payload; member i runs through Config.InvokeN with index i, and get
+// supplies each member's affinity and optional monitor.
+//
+// In deque mode the burst is published as one batch: every record is
+// built and placed first (placement may panic in cfg.Home, and nothing
+// has been accounted or published at that point, so the panic surfaces
+// as a *TaskFailure without leaking live counts), the scope and live
+// counters then cover the whole batch before any member becomes visible
+// (a published child could otherwise complete and cross scope.n through
+// zero before its siblings were counted, releasing WaitFor early), and
+// finally the batch is published — with one deque bottom store when
+// every child is a plain task on the spawner itself, per-task inserts
+// otherwise — followed by ONE wake decision for the whole burst.
+// SpawnBatches counts these batch publications.
+//
+// Mutex mode spawns the children one at a time, each with its own
+// insert and wake — the pre-deque baseline the A/B harness measures
+// against.
+func (rt *Runtime) spawnN(c *Ctx, name string, n int, get func(int) (core.Affinity, *Monitor), payload any) {
+	if n <= 0 {
+		return
+	}
+	w := c.w
+	from := w.id
+	ctr := &rt.cfg.Mon.Per[from]
+	if !rt.deque {
+		for i := 0; i < n; i++ {
+			a, mon := get(i)
+			rt.spawn(c, name, a, mon, nil, payload, int32(i))
+		}
+		return
+	}
+	ctr.Spawns += int64(n)
+	ctr.SpawnBatches++
+	batch := w.spawnScratch[:0]
+	allPlainSelf := true
+	for i := 0; i < n; i++ {
+		t := rt.newTask(w)
+		t.name, t.payload, t.idx = name, payload, int32(i)
+		t.scope = c.scope
+		a, mon := get(i)
+		t.mon = mon
+		if in := rt.inj; in != nil && in.tracked[name] {
+			in.noteSpawn(t)
+		}
+		if !rt.pol.IgnoreHints && a.Kind == core.AffTask {
+			// Set members resolve their home under the shard lock at
+			// publish time (placeSet); mark the class and object now.
+			t.class, t.slot, t.affObj = core.ClassTaskSet, rt.slotOf(a.TaskObj), a.TaskObj
+			allPlainSelf = false
+		} else {
+			rt.place(t, a, from) // may panic in cfg.Home; nothing accounted yet
+			if t.class != core.ClassPlain || t.server != from {
+				allPlainSelf = false
+			}
+		}
+		batch = append(batch, t)
+	}
+	if c.scope != nil {
+		c.scope.n.Add(int64(n))
+	}
+	rt.live.Add(int64(n))
+	if allPlainSelf {
+		w.queued.Add(int64(n))
+		w.stealable.Add(int64(n))
+		rt.queuedTotal.Add(int64(n))
+		for range batch {
+			rt.trace(w, trace.KindEnqueue, -1, name, int64(from))
+		}
+		w.deq.pushBottomN(batch)
+	} else {
+		// Mixed batch. Set members resolve through the shard protocol,
+		// the spawner's own plain children ride its deque, and
+		// cross-worker plain children ride the target's inbox. Structured
+		// records (pinned, object-bound) are chained per target and
+		// published under one lock per (batch, target): pushing them
+		// through the inbox instead would leave them invisible to every
+		// steal rule until the owner drains, which turns object-bound-
+		// heavy batches into failed-steal storms on the thieves' side.
+		if w.spawnHeads == nil {
+			w.spawnHeads = make([]*task, rt.cfg.Procs)
+			w.spawnTails = make([]*task, rt.cfg.Procs)
+		}
+		var targets uint64
+		heads, tails := w.spawnHeads, w.spawnTails
+		order := w.spawnOrder[:0]
+		for _, t := range batch {
+			if t.class == core.ClassTaskSet {
+				sv := rt.placeSet(t, t.affObj, ctr)
+				rt.trace(w, trace.KindEnqueue, -1, name, int64(sv))
+				targets |= 1 << uint(sv)
+				continue
+			}
+			if t.class == core.ClassPlain {
+				if t.server == from {
+					w.queued.Add(1)
+					w.stealable.Add(1)
+					rt.queuedTotal.Add(1)
+					w.deq.pushBottom(t)
+					rt.trace(w, trace.KindEnqueue, -1, name, int64(from))
+					continue
+				}
+				sv := rt.insertFrom(t, ctr, w)
+				rt.trace(w, trace.KindEnqueue, -1, name, int64(sv))
+				targets |= 1 << uint(sv)
+				continue
+			}
+			sv := t.server
+			t.next = nil
+			if heads[sv] == nil {
+				heads[sv] = t
+				order = append(order, sv)
+			} else {
+				tails[sv].next = t
+			}
+			tails[sv] = t
+		}
+		for _, sv := range order {
+			chain := heads[sv]
+			heads[sv], tails[sv] = nil, nil
+			wv := rt.workers[sv]
+			rt.lockWorkerCtr(wv, ctr)
+			if rt.dead.Load() != 0 && rt.isDead(sv) {
+				// Target retired since placement: reroute each record
+				// through the single-insert slow path (which re-homes it).
+				wv.mu.Unlock()
+				for t := chain; t != nil; {
+					next := t.next
+					t.next = nil
+					tsv := rt.insertFrom(t, ctr, w)
+					rt.trace(w, trace.KindEnqueue, -1, name, int64(tsv))
+					targets |= 1 << uint(tsv)
+					t = next
+				}
+				continue
+			}
+			n := int64(0)
+			for t := chain; t != nil; {
+				next := t.next
+				t.next = nil
+				rt.pushLocked(wv, t)
+				n++
+				t = next
+			}
+			wv.mu.Unlock()
+			rt.queuedTotal.Add(n)
+			for i := int64(0); i < n; i++ {
+				rt.trace(w, trace.KindEnqueue, -1, name, int64(sv))
+			}
+			targets |= 1 << uint(sv)
+		}
+		w.spawnOrder = order[:0]
+		rt.wakeTargets(targets)
+	}
+	rt.wakePolicy(ctr)
+	for i := range batch {
+		batch[i] = nil
+	}
+	w.spawnScratch = batch[:0]
+}
+
 // take removes the next task for w: local queues first, then stealing.
-// The owner-local fast path touches only w's own lock — and skips even
-// that when the atomic queued count already reads empty.
+//
+// Deque mode runs the common case without any lock: drain the inbox,
+// probe the locked structures only when the lockedWork hint says they
+// hold something, then pop the own deque — a plain spawn-and-run cycle
+// is an inbox emptiness load plus one deque CAS. The dispatch priority
+// mirrors the simulator's (current slot back to back, non-empty list,
+// pinned queue, then the plain deque), which keeps P=1 native schedules
+// token-identical to the simulated ones.
+//
+// Mutex mode is the pre-deque fast path: one lock, skipped when the
+// atomic queued count already reads empty.
 func (rt *Runtime) take(w *worker) *task {
+	if rt.deque {
+		rt.drainInbox(w)
+		if w.lockedWork.Load() > 0 {
+			rt.lockWorker(w, w.id)
+			t := rt.takeLocked(w)
+			w.mu.Unlock()
+			if t != nil {
+				return t
+			}
+		}
+		if t := w.deq.takeTop(); t != nil {
+			rt.noteDequeued(w, 1)
+			rt.noteRemoved(w, t)
+			return t
+		}
+		return rt.steal(w)
+	}
 	if w.queued.Load() > 0 {
 		rt.lockWorker(w, w.id)
 		t := rt.takeLocal(w)
@@ -863,7 +1325,7 @@ func (rt *Runtime) take(w *worker) *task {
 
 // takeLocal mirrors the simulator's local dispatch priority: the
 // task-affinity queue being drained back to back, then the non-empty
-// list, then the plain queue. Called with w.mu held.
+// list, then the plain queue. Called with w.mu held (mutex mode).
 func (rt *Runtime) takeLocal(w *worker) *task {
 	if w.cur != nil && !w.cur.empty() {
 		t := w.cur.pop()
@@ -889,6 +1351,44 @@ func (rt *Runtime) takeLocal(w *worker) *task {
 		return t
 	}
 	return nil
+}
+
+// takeLocked pops from w's lock-guarded structures in the simulator's
+// priority order: the slot being drained back to back, the non-empty
+// list, then the pinned queue. Called with w.mu held (deque mode).
+func (rt *Runtime) takeLocked(w *worker) *task {
+	if w.cur != nil && !w.cur.empty() {
+		t := w.cur.pop()
+		rt.afterSlotPop(w, w.cur)
+		rt.noteLockedTaken(w, t)
+		return t
+	}
+	w.cur = nil
+	if q := w.nonEmpty.head; q != nil {
+		t := q.pop()
+		rt.afterSlotPop(w, q)
+		if !q.empty() {
+			w.cur = q
+		}
+		rt.noteLockedTaken(w, t)
+		return t
+	}
+	if t := w.pinned.pop(); t != nil {
+		rt.noteLockedTaken(w, t)
+		return t
+	}
+	return nil
+}
+
+// noteLockedTaken accounts one task removed from w's locked structures
+// (w.mu held, deque mode).
+func (rt *Runtime) noteLockedTaken(w *worker, t *task) {
+	w.lockedWork.Add(-1)
+	if t.class == core.ClassTaskSet {
+		w.setQueued.Add(-1)
+	}
+	rt.noteDequeued(w, 1)
+	rt.noteRemoved(w, t)
 }
 
 func (rt *Runtime) afterSlotPop(w *worker, q *taskQueue) {
@@ -972,7 +1472,150 @@ func (rt *Runtime) stealScan(w *worker, ring []int) *task {
 
 // stealFrom takes work from victim v for thief w, with the paper's
 // preference order: a whole task-affinity set, a plain task, and finally
-// (reluctantly) one object-bound task from a backlogged victim.
+// (reluctantly) one object-bound or pinned task from a backlogged
+// victim.
+//
+// Deque mode orders the probe by cost: the sets-first phase takes the
+// victim's lock only when the setQueued hint says a set is queued; a
+// plain steal is a single CAS on the victim's deque top; the victim's
+// inbox is probed lock-free (swap, keep the oldest plain record, push
+// the rest back); and only the backlog-gated reluctant rules on the
+// locked structures pay for the victim's mutex. Mutex mode
+// (stealFromMutex) is the pre-deque single-lock probe.
+func (rt *Runtime) stealFrom(v, w *worker) *task {
+	if !rt.deque {
+		return rt.stealFromMutex(v, w)
+	}
+	if rt.pol.StealWholeSets && v.setQueued.Load() > 0 {
+		rt.lockWorker(v, w.id)
+		t := rt.stealSet(v, w)
+		v.mu.Unlock()
+		if t != nil {
+			return t
+		}
+	}
+	if t := v.deq.takeTop(); t != nil {
+		rt.noteDequeued(v, 1)
+		rt.noteRemoved(v, t)
+		return t
+	}
+	if t := rt.stealInbox(v, w); t != nil {
+		return t
+	}
+	return rt.stealLockedReluctant(v, w)
+}
+
+// stealInbox probes v's inbox for the oldest stealable record. Pop-one
+// is unsafe on a Treiber stack whose records get recycled (see inbox),
+// so the thief swaps the whole chain, keeps one record, and pushes
+// everything else back in one CAS, preserving relative order.
+//
+// Plain records are always fair game. The pinned and object-bound
+// records an inbox can hold are exactly the work the reluctant steal
+// rules guard behind backlog checks, and riding the inbox grants no
+// license to skip those checks — so they are taken only under the same
+// gates stealLockedReluctant applies to the locked structures (victim
+// backlogged, object-bound only under StealObjectBound). Without this,
+// object-bound-heavy workloads starve thieves into a failed-steal storm
+// whenever the work sits in inboxes the owners haven't drained yet.
+func (rt *Runtime) stealInbox(v, w *worker) *task {
+	if v.inbox.empty() {
+		return nil
+	}
+	chain := v.inbox.swapAll()
+	if chain == nil {
+		return nil
+	}
+	buf := w.inboxScratch[:0]
+	for t := chain; t != nil; t = t.next {
+		buf = append(buf, t)
+	}
+	var taken *task
+	for i := len(buf) - 1; i >= 0; i-- { // chain is newest-first; oldest plain wins
+		if buf[i].class == core.ClassPlain {
+			taken = buf[i]
+			buf = append(buf[:i], buf[i+1:]...)
+			break
+		}
+	}
+	if taken == nil && v.queued.Load() >= 2 {
+		for i := len(buf) - 1; i >= 0; i-- { // oldest permitted structured record
+			c := buf[i].class
+			if c == core.ClassProcessor || (c == core.ClassObjectBound && rt.pol.StealObjectBound) {
+				taken = buf[i]
+				buf = append(buf[:i], buf[i+1:]...)
+				break
+			}
+		}
+	}
+	if len(buf) > 0 {
+		for i := 0; i < len(buf)-1; i++ {
+			buf[i].next = buf[i+1]
+		}
+		v.inbox.pushChain(buf[0], buf[len(buf)-1])
+		if rt.dead.Load() != 0 && rt.isDead(v.id) {
+			// The victim retired while its records were detached; its
+			// drain may have missed them, so sweep them to survivors.
+			rt.sweepInbox(v, &rt.cfg.Mon.Per[w.id])
+		}
+	}
+	for i := range buf {
+		buf[i] = nil
+	}
+	w.inboxScratch = buf[:0]
+	if taken == nil {
+		return nil
+	}
+	taken.next = nil
+	rt.noteDequeued(v, 1)
+	rt.noteRemoved(v, taken)
+	return taken
+}
+
+// stealLockedReluctant applies the backlog-gated steal rules to v's
+// locked structures: the pinned-queue head only from a backlogged
+// victim, an object-bound slot head only when the policy and backlog
+// allow it, and a lone set member only when whole-set stealing is off
+// (a deliberate, counted split). The lock-free gate rejects the common
+// nothing-reluctantly-stealable case without touching v's mutex.
+func (rt *Runtime) stealLockedReluctant(v, w *worker) *task {
+	if v.lockedWork.Load() == 0 {
+		return nil
+	}
+	if v.queued.Load() < 2 && (rt.pol.StealWholeSets || v.setQueued.Load() == 0) {
+		return nil
+	}
+	rt.lockWorker(v, w.id)
+	defer v.mu.Unlock()
+	if t := v.pinned.head; t != nil && v.queued.Load() >= 2 {
+		v.pinned.remove(t)
+		rt.noteLockedTaken(v, t)
+		return t
+	}
+	for q := v.nonEmpty.head; q != nil; q = q.nextQ {
+		head := q.head
+		if head == nil {
+			continue
+		}
+		if head.class == core.ClassObjectBound && (!rt.pol.StealObjectBound || v.queued.Load() < 2) {
+			continue
+		}
+		if head.class == core.ClassTaskSet {
+			if rt.pol.StealWholeSets {
+				// Would split a set the whole-set pass chose not to move.
+				continue
+			}
+			rt.setSplits.Add(1)
+		}
+		q.remove(head)
+		rt.afterSlotPop(v, q)
+		rt.noteLockedTaken(v, head)
+		return head
+	}
+	return nil
+}
+
+// stealFromMutex is the mutex-mode steal probe.
 //
 // Locking: a probe holds only the victim's queue lock — single-task
 // steals hand the task straight to the thief's goroutine, so the
@@ -981,7 +1624,7 @@ func (rt *Runtime) stealScan(w *worker, ring []int) *task {
 // adds the thief's lock (stealSet, in ascending global id order — the
 // deadlock-avoidance protocol every two-worker path follows) plus the
 // one set-table shard involved.
-func (rt *Runtime) stealFrom(v, w *worker) *task {
+func (rt *Runtime) stealFromMutex(v, w *worker) *task {
 	rt.lockWorker(v, w.id)
 	defer v.mu.Unlock()
 	if rt.pol.StealWholeSets {
@@ -1095,10 +1738,18 @@ func (rt *Runtime) stealSet(v, w *worker) *task {
 		rt.noteDequeued(v, len(moved))
 		// popMatching matches by object, so the move can carry
 		// object-bound tasks naming the set's object along with the set
-		// members; the stealable hint counts only some classes, so it is
-		// maintained per task.
+		// members; the stealable/setQueued hints count only some
+		// classes, so they are maintained per task.
 		for _, t := range moved {
 			rt.noteRemoved(v, t)
+		}
+		if rt.deque {
+			v.lockedWork.Add(-int64(len(moved)))
+			for _, t := range moved {
+				if t.class == core.ClassTaskSet {
+					v.setQueued.Add(-1)
+				}
+			}
 		}
 		sh.mu.Unlock()
 		first := moved[0]
@@ -1111,6 +1762,12 @@ func (rt *Runtime) stealSet(v, w *worker) *task {
 				w.nonEmpty.add(tq)
 				if t.class == core.ClassPlain || t.class == core.ClassTaskSet {
 					w.stealable.Add(1)
+				}
+				if rt.deque {
+					w.lockedWork.Add(1)
+					if t.class == core.ClassTaskSet {
+						w.setQueued.Add(1)
+					}
 				}
 			}
 			w.queued.Add(int64(len(moved) - 1))
@@ -1128,7 +1785,6 @@ func (rt *Runtime) stealSet(v, w *worker) *task {
 // accounting, monitor wrapping, panic recovery, and scope/termination
 // bookkeeping.
 func (rt *Runtime) runTask(w *worker, t *task) {
-	start := time.Now()
 	ctr := &rt.cfg.Mon.Per[w.id]
 	ctr.TasksRun++
 	if t.server == w.id {
@@ -1151,11 +1807,10 @@ func (rt *Runtime) runTask(w *worker, t *task) {
 		}
 	}
 	rt.trace(w, trace.KindDone, w.id, t.name, 0)
-	w.busyNS += time.Since(start).Nanoseconds()
 	if t.scope != nil {
 		rt.scopeDone(t.scope)
 	}
-	rt.freeTask(t)
+	rt.freeTask(w, t)
 	if rt.armed {
 		rt.completed.Add(1)
 	}
@@ -1205,6 +1860,10 @@ func (rt *Runtime) execute(c *Ctx, t *task) {
 		t.fn(c)
 		return
 	}
+	if t.idx >= 0 {
+		rt.cfg.InvokeN(c, t.payload, int(t.idx))
+		return
+	}
 	rt.cfg.Invoke(c, t.payload)
 }
 
@@ -1229,7 +1888,7 @@ func (c *Ctx) Now() int64 { return c.rt.nowNS() }
 // Spawn creates and enqueues a task with the given affinity; mon, when
 // non-nil, makes it a mutex function on that monitor.
 func (c *Ctx) Spawn(name string, a core.Affinity, mon *Monitor, fn func(*Ctx)) {
-	c.rt.spawn(c, name, a, mon, fn, nil)
+	c.rt.spawn(c, name, a, mon, fn, nil, -1)
 }
 
 // SpawnPayload creates and enqueues a task whose body is Config.Invoke
@@ -1238,7 +1897,16 @@ func (c *Ctx) Spawn(name string, a core.Affinity, mon *Monitor, fn func(*Ctx)) {
 // payload (typically the user's func value) rides through the pooled
 // task record.
 func (c *Ctx) SpawnPayload(name string, a core.Affinity, mon *Monitor, payload any) {
-	c.rt.spawn(c, name, a, mon, nil, payload)
+	c.rt.spawn(c, name, a, mon, nil, payload, -1)
+}
+
+// SpawnN creates and enqueues n sibling tasks sharing one payload; the
+// get callback supplies each member's affinity and optional monitor,
+// and member i runs through Config.InvokeN with index i. A burst
+// spawned this way is published as one batch — one deque publish and
+// one wake decision instead of n (see spawnN).
+func (c *Ctx) SpawnN(name string, n int, get func(int) (core.Affinity, *Monitor), payload any) {
+	c.rt.spawnN(c, name, n, get, payload)
 }
 
 // WaitFor runs body and then blocks until every task spawned in its

@@ -2,6 +2,7 @@ package native
 
 import (
 	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -102,22 +103,27 @@ func TestP1DispatchOrder(t *testing.T) {
 	}
 }
 
+// mutexMode pins a test runtime to the pre-deque mutex-queue scheduler
+// (the A/B baseline), whose structural tests below drive the locked
+// plain queue directly.
+func mutexMode(cfg *Config) { cfg.MutexQueue = true }
+
 // TestWholeSetStealMovesEverything drives stealFrom directly: a victim
 // holding a three-member task-affinity set plus a plain task must lose
 // the whole set in one steal, with the set re-homed to the thief.
 func TestWholeSetStealMovesEverything(t *testing.T) {
-	rt, mon := testRuntime(t, 2, nil)
+	rt, mon := testRuntime(t, 2, mutexMode)
 	v, w := rt.workers[0], rt.workers[1]
 	const obj = int64(4096)
 	slot := rt.slotOf(obj)
 	rt.shardOf(obj).home[obj] = 0
 	for i := 0; i < 3; i++ {
-		st := rt.newTask()
+		st := rt.newTask(nil)
 		st.name, st.fn = "set", func(*Ctx) {}
 		st.class, st.server, st.slot, st.affObj = core.ClassTaskSet, 0, slot, obj
 		rt.insert(st, 0)
 	}
-	pl := rt.newTask()
+	pl := rt.newTask(nil)
 	pl.name, pl.fn = "plain", func(*Ctx) {}
 	pl.class, pl.server = core.ClassPlain, 0
 	rt.insert(pl, 0)
@@ -150,13 +156,13 @@ func TestWholeSetStealMovesEverything(t *testing.T) {
 // plain queue must not be stolen while a free task sits behind it, and a
 // lone pinned task must not be stolen at all.
 func TestStealSkipsPinnedHead(t *testing.T) {
-	rt, _ := testRuntime(t, 2, nil)
+	rt, _ := testRuntime(t, 2, mutexMode)
 	v, w := rt.workers[0], rt.workers[1]
-	pin := rt.newTask()
+	pin := rt.newTask(nil)
 	pin.name, pin.fn = "pinned", func(*Ctx) {}
 	pin.class, pin.server = core.ClassProcessor, 0
 	rt.insert(pin, 0)
-	free := rt.newTask()
+	free := rt.newTask(nil)
 	free.name, free.fn = "free", func(*Ctx) {}
 	free.class, free.server = core.ClassPlain, 0
 	rt.insert(free, 0)
@@ -175,10 +181,10 @@ func TestStealSkipsPinnedHead(t *testing.T) {
 // TestObjectBoundStolenOnlyFromBacklog: object-affinity tasks move only
 // when the victim has at least two queued tasks.
 func TestObjectBoundStolenOnlyFromBacklog(t *testing.T) {
-	rt, _ := testRuntime(t, 2, nil)
+	rt, _ := testRuntime(t, 2, mutexMode)
 	v, w := rt.workers[0], rt.workers[1]
 	mk := func(addr int64) {
-		ob := rt.newTask()
+		ob := rt.newTask(nil)
 		ob.name, ob.fn = "ob", func(*Ctx) {}
 		ob.class, ob.server, ob.slot, ob.affObj = core.ClassObjectBound, 0, rt.slotOf(addr), addr
 		rt.insert(ob, 0)
@@ -191,6 +197,131 @@ func TestObjectBoundStolenOnlyFromBacklog(t *testing.T) {
 	mk(128)
 	got = rt.stealFrom(v, w)
 	if got == nil || got.class != core.ClassObjectBound {
+		t.Fatalf("want an object-bound steal from a backlogged victim, got %v", got)
+	}
+}
+
+// TestDequeWholeSetSteal is TestWholeSetStealMovesEverything for the
+// default deque scheduler: the whole set moves in one steal via the
+// sets-first phase, a plain task on the victim's deque is untouched by
+// it and then taken by a CAS-only plain steal, and the lock-free hints
+// (setQueued, stealable, queued) end with zero drift.
+func TestDequeWholeSetSteal(t *testing.T) {
+	rt, mon := testRuntime(t, 2, nil)
+	v, w := rt.workers[0], rt.workers[1]
+	const obj = int64(4096)
+	slot := rt.slotOf(obj)
+	rt.shardOf(obj).home[obj] = 0
+	ctr := &mon.Per[0]
+	for i := 0; i < 3; i++ {
+		st := rt.newTask(nil)
+		st.name, st.fn = "set", func(*Ctx) {}
+		rt.placeSet(st, obj, ctr)
+	}
+	pl := rt.newTask(nil)
+	pl.name, pl.fn = "plain", func(*Ctx) {}
+	pl.class, pl.server = core.ClassPlain, 0
+	rt.insert(pl, 0) // actor 0 == target: straight onto v's deque
+
+	if v.setQueued.Load() != 3 || v.deq.size() != 1 {
+		t.Fatalf("setup: setQueued=%d deq=%d, want 3 and 1", v.setQueued.Load(), v.deq.size())
+	}
+	got := rt.stealFrom(v, w)
+	if got == nil || got.affObj != obj {
+		t.Fatalf("stealFrom returned %+v, want head of set %d", got, obj)
+	}
+	if home := rt.setHomeOf(obj); home != 1 {
+		t.Fatalf("set home = %d after steal, want thief 1", home)
+	}
+	if n := w.slots[slot].size; n != 2 {
+		t.Fatalf("thief slot holds %d set members, want 2", n)
+	}
+	if v.slots[slot].size != 0 || v.setQueued.Load() != 0 || v.lockedWork.Load() != 0 {
+		t.Fatalf("victim kept set state: slot=%d setQueued=%d lockedWork=%d",
+			v.slots[slot].size, v.setQueued.Load(), v.lockedWork.Load())
+	}
+	if w.setQueued.Load() != 2 || w.lockedWork.Load() != 2 {
+		t.Fatalf("thief hints setQueued=%d lockedWork=%d, want 2 and 2",
+			w.setQueued.Load(), w.lockedWork.Load())
+	}
+	if mon.Per[1].SetSteals != 1 {
+		t.Fatalf("SetSteals=%d want 1", mon.Per[1].SetSteals)
+	}
+	if v.deq.size() != 1 {
+		t.Fatalf("victim deque disturbed by the set steal: size=%d want 1", v.deq.size())
+	}
+	got = rt.stealFrom(v, w)
+	if got == nil || got.name != "plain" {
+		t.Fatalf("plain deque steal returned %v, want the plain task", got)
+	}
+	if v.queued.Load() != 0 || v.stealable.Load() != 0 {
+		t.Fatalf("victim hint drift after drain: queued=%d stealable=%d",
+			v.queued.Load(), v.stealable.Load())
+	}
+}
+
+// TestDequeStealRules covers the deque scheduler's reluctant phases:
+// only plain records may leave a victim's inbox, pinned tasks are
+// stolen from the locked pinned queue only when the victim is
+// backlogged, and object-bound tasks only under the same backlog rule.
+func TestDequeStealRules(t *testing.T) {
+	rt, mon := testRuntime(t, 2, nil)
+	v, w := rt.workers[0], rt.workers[1]
+	ctr := &mon.Per[1]
+	mkPin := func(name string) {
+		pin := rt.newTask(nil)
+		pin.name, pin.fn = name, func(*Ctx) {}
+		pin.class, pin.server = core.ClassProcessor, 0
+		rt.insertFrom(pin, ctr, nil) // cross-worker: lands in v's inbox
+	}
+	mkPin("pin1")
+	free := rt.newTask(nil)
+	free.name, free.fn = "free", func(*Ctx) {}
+	free.class, free.server = core.ClassPlain, 0
+	rt.insertFrom(free, ctr, nil)
+
+	// The inbox probe must take the plain record and leave the pinned one.
+	got := rt.stealFrom(v, w)
+	if got == nil || got.name != "free" {
+		t.Fatalf("stole %v, want the free task from the inbox", got)
+	}
+	// A lone pinned record is not stealable — from the inbox or after the
+	// owner drains it into the pinned queue.
+	if got = rt.stealFrom(v, w); got != nil {
+		t.Fatalf("stole lone pinned inbox record %q", got.name)
+	}
+	rt.drainInbox(v)
+	if v.pinned.size != 1 || v.lockedWork.Load() != 1 {
+		t.Fatalf("drainInbox left pinned=%d lockedWork=%d, want 1 and 1",
+			v.pinned.size, v.lockedWork.Load())
+	}
+	if got = rt.stealFrom(v, w); got != nil {
+		t.Fatalf("stole lone pinned task %q", got.name)
+	}
+	// Backlogged (queued=2): the pinned head may move.
+	mkPin("pin2")
+	rt.drainInbox(v)
+	if got = rt.stealFrom(v, w); got == nil || got.class != core.ClassProcessor {
+		t.Fatalf("want a pinned steal from a backlogged victim, got %v", got)
+	}
+
+	// Object-bound: same backlog rule, via the slot queues.
+	rt2, mon2 := testRuntime(t, 2, nil)
+	v2, w2 := rt2.workers[0], rt2.workers[1]
+	mkOb := func(addr int64) {
+		ob := rt2.newTask(nil)
+		ob.name, ob.fn = "ob", func(*Ctx) {}
+		ob.class, ob.server, ob.slot, ob.affObj = core.ClassObjectBound, 0, rt2.slotOf(addr), addr
+		rt2.insertFrom(ob, &mon2.Per[1], nil)
+	}
+	mkOb(64)
+	rt2.drainInbox(v2)
+	if got := rt2.stealFrom(v2, w2); got != nil {
+		t.Fatalf("stole object-bound task from a victim with queued=1")
+	}
+	mkOb(128)
+	rt2.drainInbox(v2)
+	if got := rt2.stealFrom(v2, w2); got == nil || got.class != core.ClassObjectBound {
 		t.Fatalf("want an object-bound steal from a backlogged victim, got %v", got)
 	}
 }
@@ -358,10 +489,15 @@ func equalInts(a, b []int) bool {
 }
 
 // TestWakeCountersAccumulate: spawning from a running task charges
-// targeted or broadcast wakes to the spawner's row.
+// targeted or broadcast wakes to the spawner's row. Wakes are only
+// counted when a token is actually deposited, so wait for at least one
+// sibling to park before spawning.
 func TestWakeCountersAccumulate(t *testing.T) {
 	rt, mon := testRuntime(t, 4, nil)
 	err := rt.Run(func(c *Ctx) {
+		for rt.parked.Load() == 0 {
+			runtime.Gosched()
+		}
 		c.WaitFor(func() {
 			for i := 0; i < 100; i++ {
 				c.Spawn("w", core.Affinity{}, nil, func(*Ctx) {})

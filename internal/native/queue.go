@@ -1,10 +1,12 @@
 package native
 
 // taskQueue is a FIFO of native task records (intrusive doubly-linked),
-// mirroring the simulator scheduler's queue structure: one plain queue
-// per worker plus an array of task-affinity queues whose non-empty
-// members are linked in a doubly-linked list. All access is guarded by
-// the owning worker's mutex.
+// mirroring the simulator scheduler's queue structure: an array of
+// task-affinity queues whose non-empty members are linked in a
+// doubly-linked list, plus — depending on the scheduler mode — the
+// pinned queue (deque mode) or the plain queue (mutex mode; in deque
+// mode plain tasks ride the lock-free chaseLev deque in deque.go
+// instead). All access is guarded by the owning worker's mutex.
 type taskQueue struct {
 	head, tail *task
 	size       int

@@ -1,6 +1,7 @@
 package native
 
 import (
+	"fmt"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -18,8 +19,16 @@ import (
 // concurrent placement and whole-set stealing: a task lost in the
 // retirement race shows up as a count mismatch, a split set as
 // SetSplits, a residual entry as a non-empty dead queue, and a stale
-// stealable hint as a nonzero counter on a drained worker.
+// stealable hint as a nonzero counter on a drained worker. The deque
+// arm additionally exercises the retirement drain through the
+// Chase-Lev deque (popBottom) and inbox (swapAll) paths; the mutex arm
+// keeps covering the PR 6 locked drain.
 func TestRetireStress(t *testing.T) {
+	t.Run("deque", func(t *testing.T) { retireStress(t, nil) })
+	t.Run("mutex", func(t *testing.T) { retireStress(t, mutexMode) })
+}
+
+func retireStress(t *testing.T, mode func(*Config)) {
 	const procs = 12 // three clusters of four
 	for _, seed := range []int64{1, 2, 3} {
 		rng := rand.New(rand.NewSource(seed))
@@ -34,7 +43,12 @@ func TestRetireStress(t *testing.T) {
 			victims[v] = true
 			p.Fail(v, int64(200_000+rng.Intn(1_500_000))) // 0.2–1.7ms in
 		}
-		rt, mon := testRuntime(t, procs, func(cfg *Config) { cfg.Faults = p })
+		rt, mon := testRuntime(t, procs, func(cfg *Config) {
+			cfg.Faults = p
+			if mode != nil {
+				mode(cfg)
+			}
+		})
 
 		const spawners = 16
 		const perSpawner = 100
@@ -104,20 +118,10 @@ func TestRetireStress(t *testing.T) {
 		// Every queue — dead or alive — must be empty, and the stealable
 		// hints must have drained back to zero with them.
 		for _, w := range rt.workers {
-			if w.plain.size != 0 {
-				t.Fatalf("seed %d: worker %d plain queue size %d", seed, w.id, w.plain.size)
-			}
 			if n := w.queued.Load(); n != 0 {
 				t.Fatalf("seed %d: worker %d queued hint %d", seed, w.id, n)
 			}
-			if n := w.stealable.Load(); n != 0 {
-				t.Fatalf("seed %d: worker %d stealable hint drifted to %d", seed, w.id, n)
-			}
-			for s := range w.slots {
-				if w.slots[s].size != 0 {
-					t.Fatalf("seed %d: worker %d slot %d size %d", seed, w.id, s, w.slots[s].size)
-				}
-			}
 		}
+		assertWorkerQueuesEmpty(t, rt, fmt.Sprintf("seed %d", seed))
 	}
 }

@@ -1,6 +1,7 @@
 package native
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -41,6 +42,45 @@ func TestStallBackoffSequence(t *testing.T) {
 	}
 }
 
+// assertWorkerQueuesEmpty checks, after a quiesced run, that every
+// queue structure on every worker — mutex-mode plain queue, deque-mode
+// Chase-Lev deque, inbox, and pinned queue, and the affinity slots in
+// both modes — drained completely, and that every lock-free hint
+// (queued, stealable, lockedWork, setQueued) settled back to zero.
+// A residual entry means a task was lost; residual hints mean a
+// counter-maintenance path missed a decrement.
+func assertWorkerQueuesEmpty(t *testing.T, rt *Runtime, label string) {
+	t.Helper()
+	for _, w := range rt.workers {
+		if w.plain.size != 0 {
+			t.Fatalf("%s: worker %d plain queue size %d", label, w.id, w.plain.size)
+		}
+		if n := w.deq.size(); n != 0 {
+			t.Fatalf("%s: worker %d deque size %d", label, w.id, n)
+		}
+		if !w.inbox.empty() {
+			t.Fatalf("%s: worker %d inbox not empty", label, w.id)
+		}
+		if w.pinned.size != 0 {
+			t.Fatalf("%s: worker %d pinned queue size %d", label, w.id, w.pinned.size)
+		}
+		if n := w.stealable.Load(); n != 0 {
+			t.Fatalf("%s: worker %d stealable hint drifted to %d", label, w.id, n)
+		}
+		if n := w.lockedWork.Load(); n != 0 {
+			t.Fatalf("%s: worker %d lockedWork hint drifted to %d", label, w.id, n)
+		}
+		if n := w.setQueued.Load(); n != 0 {
+			t.Fatalf("%s: worker %d setQueued hint drifted to %d", label, w.id, n)
+		}
+		for s := range w.slots {
+			if w.slots[s].size != 0 {
+				t.Fatalf("%s: worker %d slot %d size %d", label, w.id, s, w.slots[s].size)
+			}
+		}
+	}
+}
+
 // TestConcurrentSetStealStress hammers the decentralized placement
 // protocol: many workers concurrently spawn randomized mixes of plain,
 // processor-, object-, and task-affinity work while steals relocate
@@ -48,12 +88,22 @@ func TestStallBackoffSequence(t *testing.T) {
 // mid-run. Run under -race with -count=3, it is the torture test for
 // the worker-lock/shard-lock ordering: a missed revalidation in
 // placeSet or a racy whole-set move shows up as a set split, a lost
-// task, or a residual queue entry.
+// task, or a residual queue entry. Both queue backends take the same
+// hammering: the deque arm drains through the Chase-Lev/inbox paths,
+// the mutex arm through the PR 5 locked queue.
 func TestConcurrentSetStealStress(t *testing.T) {
+	t.Run("deque", func(t *testing.T) { concurrentSetStealStress(t, nil) })
+	t.Run("mutex", func(t *testing.T) { concurrentSetStealStress(t, mutexMode) })
+}
+
+func concurrentSetStealStress(t *testing.T, mode func(*Config)) {
 	const procs = 12 // three clusters of four
 	for _, seed := range []int64{1, 2, 3} {
 		rt, mon := testRuntime(t, procs, func(cfg *Config) {
 			cfg.Pol.ClusterStealFirst = true
+			if mode != nil {
+				mode(cfg)
+			}
 		})
 		rng := rand.New(rand.NewSource(seed))
 		// Pre-draw every spawn's affinity outside the tasks (the rng is
@@ -118,18 +168,6 @@ func TestConcurrentSetStealStress(t *testing.T) {
 		}
 		// Every queue must be empty — a task left on a slot whose
 		// non-empty link was lost would hide from QueuedTasks.
-		for _, w := range rt.workers {
-			if w.plain.size != 0 {
-				t.Fatalf("seed %d: worker %d plain queue size %d", seed, w.id, w.plain.size)
-			}
-			if n := w.stealable.Load(); n != 0 {
-				t.Fatalf("seed %d: worker %d stealable hint drifted to %d", seed, w.id, n)
-			}
-			for s := range w.slots {
-				if w.slots[s].size != 0 {
-					t.Fatalf("seed %d: worker %d slot %d size %d", seed, w.id, s, w.slots[s].size)
-				}
-			}
-		}
+		assertWorkerQueuesEmpty(t, rt, fmt.Sprintf("seed %d", seed))
 	}
 }

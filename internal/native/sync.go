@@ -56,6 +56,16 @@ func (rt *Runtime) waitScope(c *Ctx, sc *scope) {
 			continue
 		}
 		misses++
+		// Drop any stale wake token before registering as the scope's
+		// waiter — a leftover from an expired timed park would otherwise
+		// end the park below instantly for one spurious round-trip.
+		// Nothing is lost: every depositor publishes its condition first
+		// (queue count, scope count), and both are re-read below after
+		// the waiter store and the parked bit are visible.
+		select {
+		case <-w.wake:
+		default:
+		}
 		sc.waiter.Store(w)
 		if sc.n.Load() == 0 {
 			sc.waiter.Store(nil)

@@ -1,0 +1,98 @@
+package native
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWakeCountersOnlyOnDeposit pins the wake-counter accounting fix:
+// wakePolicy must bump TargetedWakes/BroadcastWakes only when it
+// actually deposited at least one token — an empty parked mask, or
+// parked workers whose token slots are already full, wake nobody and
+// must count nothing.
+func TestWakeCountersOnlyOnDeposit(t *testing.T) {
+	rt, mon := testRuntime(t, 2, nil)
+	ctr := &mon.Per[0]
+
+	// Nobody parked: the old code still counted a targeted wake here.
+	rt.queuedTotal.Store(1)
+	rt.wakePolicy(ctr)
+	if ctr.TargetedWakes != 0 || ctr.BroadcastWakes != 0 {
+		t.Fatalf("wakePolicy with empty parked mask counted wakes: targeted=%d broadcast=%d",
+			ctr.TargetedWakes, ctr.BroadcastWakes)
+	}
+
+	// One parked worker: the first call deposits a token and counts one
+	// targeted wake.
+	rt.setParked(1, true)
+	rt.wakePolicy(ctr)
+	if ctr.TargetedWakes != 1 {
+		t.Fatalf("wakePolicy with a parked worker: TargetedWakes=%d want 1", ctr.TargetedWakes)
+	}
+
+	// Token slot now full: a second call deposits nothing and must not
+	// count.
+	rt.wakePolicy(ctr)
+	if ctr.TargetedWakes != 1 || ctr.BroadcastWakes != 0 {
+		t.Fatalf("wakePolicy with a full token slot counted: targeted=%d broadcast=%d",
+			ctr.TargetedWakes, ctr.BroadcastWakes)
+	}
+
+	// Deep backlog flips the policy to broadcast — still one counter
+	// bump per call, not per token.
+	<-rt.workers[1].wake
+	rt.setParked(0, true)
+	rt.queuedTotal.Store(int64(wakeFanout + 1))
+	rt.wakePolicy(ctr)
+	if ctr.BroadcastWakes != 1 || ctr.TargetedWakes != 1 {
+		t.Fatalf("broadcast wake miscounted: targeted=%d broadcast=%d",
+			ctr.TargetedWakes, ctr.BroadcastWakes)
+	}
+}
+
+// TestStaleWakeTokenDrained pins the stale-token fix: a token left in
+// w.wake by an expired timed park (or by the early recheck return) must
+// be drained on the next park entry, not spent ending that park
+// instantly as a spurious round-trip.
+func TestStaleWakeTokenDrained(t *testing.T) {
+	rt, _ := testRuntime(t, 1, nil)
+	w := rt.workers[0]
+
+	// Plant a stale token, then enter a timed park (queuedTotal > 0 and
+	// misses at the retry limit force the stallBackoff path). Without
+	// the drain the stale token ends the park in nanoseconds; with it,
+	// the park must ride out the full backoff (timers never fire early).
+	if !rt.wakeWorker(0) {
+		t.Fatal("could not plant stale token")
+	}
+	rt.queuedTotal.Store(1)
+	start := time.Now()
+	rt.park(w, parkRetryLimit)
+	if el := time.Since(start); el < backoffBase {
+		t.Fatalf("park with stale token returned after %v, want >= %v (token not drained)", el, backoffBase)
+	}
+	select {
+	case <-w.wake:
+		t.Fatal("token still pending after park drained it")
+	default:
+	}
+
+	// A genuine wake deposited while parked must still end an untimed
+	// park promptly — the drain only ever consumes tokens sent before
+	// the park published its parked bit.
+	rt.queuedTotal.Store(0)
+	done := make(chan struct{})
+	go func() {
+		rt.park(w, 0)
+		close(done)
+	}()
+	for rt.parked.Load() == 0 {
+		time.Sleep(time.Microsecond)
+	}
+	rt.wakeTargets(1)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked worker never woke on a genuine token")
+	}
+}

@@ -27,6 +27,7 @@ type Counters struct {
 	TasksRun     int64 // tasks executed to completion on this processor
 	TasksAtHome  int64 // tasks that ran on their affinity-preferred server
 	Spawns       int64 // tasks created by code running here
+	SpawnBatches int64 // SpawnN bursts published as one batch (native deque backend only)
 	StealTries   int64 // steal probes issued
 	StealsLocal  int64 // successful steals from the local cluster
 	StealsRemote int64 // successful steals from a remote cluster
@@ -75,6 +76,7 @@ func (c *Counters) Add(o Counters) {
 	c.TasksRun += o.TasksRun
 	c.TasksAtHome += o.TasksAtHome
 	c.Spawns += o.Spawns
+	c.SpawnBatches += o.SpawnBatches
 	c.StealTries += o.StealTries
 	c.StealsLocal += o.StealsLocal
 	c.StealsRemote += o.StealsRemote

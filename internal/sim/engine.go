@@ -117,6 +117,12 @@ func (e *Engine) setParked(p *Proc, parked bool) {
 	}
 }
 
+// Parked reports whether the processor is idle-parked (set when a
+// Dispatcher call found nothing, cleared when its next dispatch event
+// runs). Schedulers use it to tell direct home-server notifies apart
+// from policy wakes that reached other processors.
+func (p *Proc) Parked() bool { return p.parked }
+
 // SetDispatcher installs the scheduling policy. Must be called before Run.
 func (e *Engine) SetDispatcher(d Dispatcher) { e.disp = d }
 
@@ -188,32 +194,41 @@ func (e *Engine) atSlice(t int64, p *Proc, tk *Task) {
 // time t. Each woken processor will call the Dispatcher. Parked
 // processors are found through the idle bitmask (ascending ID order,
 // matching a scan over Procs), so the cost scales with the number of
-// idle processors rather than the machine size.
-func (e *Engine) NotifyWork(t int64) {
+// idle processors rather than the machine size. Returns how many
+// processors were actually notified, so callers can count real wakes
+// rather than wake decisions.
+func (e *Engine) NotifyWork(t int64) int {
+	n := 0
 	for w, word := range e.idleWords {
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
 			word &= word - 1
 			e.queueDispatch(e.Procs[w<<6|b], t)
+			n++
 		}
 	}
+	return n
 }
 
 // NotifyIdle wakes at most k parked processors, lowest IDs first — the
 // targeted alternative to NotifyWork for shallow backlogs, so a couple
 // of queued tasks don't wake the whole machine to race for them.
-func (e *Engine) NotifyIdle(t int64, k int) {
+// Returns how many processors were actually notified.
+func (e *Engine) NotifyIdle(t int64, k int) int {
+	n := 0
 	for w, word := range e.idleWords {
 		for word != 0 {
 			if k <= 0 {
-				return
+				return n
 			}
 			b := bits.TrailingZeros64(word)
 			word &= word - 1
 			e.queueDispatch(e.Procs[w<<6|b], t)
 			k--
+			n++
 		}
 	}
+	return n
 }
 
 // NotifyProc wakes a single parked processor (used for targeted handoff).

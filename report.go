@@ -27,6 +27,7 @@ type Counters struct {
 	TasksRun     int64
 	TasksAtHome  int64 // tasks that ran on their affinity-preferred server
 	Spawns       int64
+	SpawnBatches int64 // SpawnN bursts published as one batch (native deque backend; zero on the simulator and the mutex-queue A/B arm)
 	StealTries   int64
 	StealsLocal  int64 // successful same-cluster steals
 	StealsRemote int64
@@ -135,6 +136,7 @@ func (rt *Runtime) Report() Report {
 			TasksRun:       p.TasksRun,
 			TasksAtHome:    p.TasksAtHome,
 			Spawns:         p.Spawns,
+			SpawnBatches:   p.SpawnBatches,
 			StealTries:     p.StealTries,
 			StealsLocal:    p.StealsLocal,
 			StealsRemote:   p.StealsRemote,
@@ -180,6 +182,7 @@ func addCounters(dst *Counters, c Counters) {
 	dst.TasksRun += c.TasksRun
 	dst.TasksAtHome += c.TasksAtHome
 	dst.Spawns += c.Spawns
+	dst.SpawnBatches += c.SpawnBatches
 	dst.StealTries += c.StealTries
 	dst.StealsLocal += c.StealsLocal
 	dst.StealsRemote += c.StealsRemote
