@@ -236,6 +236,14 @@ func benchNativeRun(procs []int, names []string, small bool, reps int, queue str
 						"%s: healthy native run counted robustness events (faults=%d redistributed=%d retries=%d gaveup=%d)",
 						e.Name, t.FaultEvents, t.Redistributed, t.Retries, t.GaveUp)
 				}
+				// Likewise the pool must have stayed fixed: a healthy run
+				// with no elastic config reporting membership events means
+				// a worker retired (or appeared) spontaneously.
+				if evs := res.Report.PoolEvents; len(evs) != 0 {
+					return nil, fmt.Errorf(
+						"%s: healthy fixed-pool run reported %d pool event(s), first %+v",
+						e.Name, len(evs), evs[0])
+				}
 				// Cycles are wall-clock nanoseconds on the native backend.
 				if rep == 0 || res.Cycles < e.WallNS {
 					e.WallNS = res.Cycles

@@ -13,6 +13,8 @@
 //	coolbench -chaos -chaos-small                 reduced workloads (CI)
 //	coolbench -chaos -chaos-native                campaigns on the native
 //	                                              (goroutine) backend
+//	coolbench -chaos -chaos-native -chaos-churn   add elastic pool churn
+//	                                              (AddWorker/Drain events)
 package main
 
 import (
@@ -46,12 +48,17 @@ func chaosMain(args []string) int {
 	appsFlag := fs.String("chaos-apps", "", "comma-separated app subset (default: all registered)")
 	small := fs.Bool("chaos-small", false, "use reduced workload sizes (CI smoke)")
 	nativeFlag := fs.Bool("chaos-native", false, "run campaigns on the native goroutine backend (plan times read as nanoseconds)")
+	churn := fs.Bool("chaos-churn", false, "include elastic pool churn (AddWorker/Drain) in generated plans; requires -chaos-native")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	backend := cool.BackendSim
 	if *nativeFlag {
 		backend = cool.BackendNative
+	}
+	if *churn && !*nativeFlag {
+		fmt.Fprintln(os.Stderr, "coolbench -chaos: -chaos-churn requires -chaos-native (the simulator has no worker pool)")
+		return 2
 	}
 
 	names := apps.Names()
@@ -73,8 +80,13 @@ func chaosMain(args []string) int {
 		tally := map[chaos.Verdict]int{}
 		for i := 0; i < *campaigns; i++ {
 			seed := *baseSeed + int64(i)
-			c := chaos.NewCampaign(app, seed, *procs, size)
-			c.Backend = backend
+			var c chaos.Campaign
+			if *churn {
+				c = chaos.NewChurnCampaign(app, seed, *procs, size)
+			} else {
+				c = chaos.NewCampaign(app, seed, *procs, size)
+				c.Backend = backend
+			}
 			out := oracle.Run(app, c)
 			tally[out.Verdict]++
 			if !out.Verdict.Bad() {
@@ -92,6 +104,9 @@ func chaosMain(args []string) int {
 			replayNative := ""
 			if backend == cool.BackendNative {
 				replayNative = " -chaos-native"
+			}
+			if *churn {
+				replayNative += " -chaos-churn"
 			}
 			fmt.Printf("  replay: coolbench -chaos%s -chaos-apps %s -chaos-seed %d -chaos-campaigns 1 -chaos-procs %d\n",
 				replayNative, app.Name, seed, *procs)

@@ -48,6 +48,11 @@ func main() {
 	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench-native") {
 		os.Exit(benchNativeMain(os.Args[1:]))
 	}
+	// The elastic worker-pool benchmark (see bench_elastic.go); also
+	// dispatched ahead of the shared -bench prefix.
+	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench-elastic") {
+		os.Exit(benchElasticMain(os.Args[1:]))
+	}
 	// The benchmark regression harness has its own flag set (see
 	// bench.go) and short-circuits the experiment machinery.
 	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench") {

@@ -162,6 +162,21 @@ type Config struct {
 	Deadline int64
 	// Backend selects the execution engine (default: the simulator).
 	Backend Backend
+	// MaxProcessors (native backend only), when positive, reserves
+	// spare worker capacity in [Processors, 64]: the pool starts at
+	// Processors workers and can grow to MaxProcessors mid-run via
+	// Runtime.AddWorkers or the autoscaler, and shrink back via
+	// Runtime.Retire. Zero keeps the pool fixed.
+	MaxProcessors int
+	// Shed (native backend only), when non-nil, arms the SLO layer:
+	// WithPriority/WithDeadline spawn options are enforced at dispatch,
+	// and overload sheds the lowest-priority tasks first (see
+	// ShedPolicy).
+	Shed *ShedPolicy
+	// Autoscale (native backend only), when non-nil, grows and shrinks
+	// the pool between watermarks each control epoch (see
+	// AutoscalePolicy). Requires MaxProcessors headroom.
+	Autoscale *AutoscalePolicy
 }
 
 // Runtime is one simulated COOL program execution environment. Allocate
@@ -204,6 +219,17 @@ func NewRuntime(c Config) (*Runtime, error) {
 		}
 	} else if c.Backend != BackendSim {
 		return nil, fmt.Errorf("cool: unknown backend %d", int(c.Backend))
+	} else {
+		// The elastic pool and the shedding layer schedule real worker
+		// goroutines; the single-threaded simulator has neither.
+		switch {
+		case c.MaxProcessors > 0:
+			return nil, fmt.Errorf("cool: Config.MaxProcessors requires Backend: BackendNative")
+		case c.Shed != nil:
+			return nil, fmt.Errorf("cool: Config.Shed requires Backend: BackendNative")
+		case c.Autoscale != nil:
+			return nil, fmt.Errorf("cool: Config.Autoscale requires Backend: BackendNative")
+		}
 	}
 	var mc machine.Config
 	if c.Machine != nil {
@@ -373,9 +399,28 @@ func newNativeRuntime(c Config, mc machine.Config, pol core.Policy) (*Runtime, e
 	if c.Faults != nil || c.Retry != nil {
 		noProgress = defaultNativeNoProgressNS
 	}
+	var shed *native.ShedConfig
+	if c.Shed != nil {
+		shed = &native.ShedConfig{QueueHighWater: c.Shed.QueueHighWater, RetryShed: c.Shed.RetryShed}
+	}
+	var auto *native.AutoscaleConfig
+	if c.Autoscale != nil {
+		auto = &native.AutoscaleConfig{
+			IntervalNS: c.Autoscale.IntervalNS,
+			HighWater:  c.Autoscale.HighWater,
+			LowWater:   c.Autoscale.LowWater,
+			Min:        c.Autoscale.MinProcs,
+			Max:        c.Autoscale.MaxProcs,
+			Step:       c.Autoscale.Step,
+		}
+	}
+	np := mc.Processors
+	if c.MaxProcessors > np {
+		np = c.MaxProcessors // bounds validated by native.New
+	}
 	rt := &Runtime{cfg: mc, backend: BackendNative}
 	rt.space = memsim.New(mc)
-	rt.mon = perfmon.New(mc.Processors)
+	rt.mon = perfmon.New(np)
 	nat, err := native.New(native.Config{
 		Procs:       mc.Processors,
 		ClusterSize: mc.ClusterSize,
@@ -405,6 +450,9 @@ func newNativeRuntime(c Config, mc machine.Config, pol core.Policy) (*Runtime, e
 		Retry:         retry,
 		DeadlineNS:    c.Deadline,
 		NoProgressNS:  noProgress,
+		MaxProcs:      c.MaxProcessors,
+		Shed:          shed,
+		Autoscale:     auto,
 	})
 	if err != nil {
 		return nil, err

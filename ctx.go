@@ -77,10 +77,12 @@ func (c *Ctx) Access(addr, size int64, write bool) {
 // objs aliases objsBuf until a spawn names more than two objects, so the
 // common one-object case costs no heap allocation on the spawn path.
 type spawnOptions struct {
-	aff     core.Affinity
-	mutex   *Monitor
-	objs    []sizedObj // OBJECT affinity operands (one or several)
-	objsBuf [2]sizedObj
+	aff      core.Affinity
+	mutex    *Monitor
+	prio     int8  // priority class [0,7] (WithPriority)
+	deadline int64 // absolute deadline (WithDeadline), 0 = none
+	objs     []sizedObj // OBJECT affinity operands (one or several)
+	objsBuf  [2]sizedObj
 }
 
 // sizedObj is one OBJECT affinity operand with an optional size used to
@@ -110,6 +112,8 @@ const (
 	optObjectSized
 	optOnProcessor
 	optWithMutex
+	optWithPriority
+	optWithDeadline
 )
 
 // apply folds one option into the accumulated spawn specification.
@@ -148,6 +152,17 @@ func (op SpawnOpt) apply(o *spawnOptions) {
 		o.aff.Processor = op.proc
 	case optWithMutex:
 		o.mutex = op.mutex
+	case optWithPriority:
+		p := op.proc
+		if p < 0 {
+			p = 0
+		}
+		if p > 7 {
+			p = 7
+		}
+		o.prio = int8(p)
+	case optWithDeadline:
+		o.deadline = op.addr
 	}
 }
 
@@ -190,6 +205,24 @@ func OnProcessor(n int) SpawnOpt {
 // other mutex tasks on the same object.
 func WithMutex(m *Monitor) SpawnOpt {
 	return SpawnOpt{kind: optWithMutex, mutex: m}
+}
+
+// WithPriority assigns the task a priority class in [0,7] (clamped;
+// 0 is the default and lowest, 7 is never shed on priority grounds).
+// Under overload with shedding armed (Config.Shed on the native
+// backend) lower classes are dropped first.
+func WithPriority(p int) SpawnOpt {
+	return SpawnOpt{kind: optWithPriority, proc: p}
+}
+
+// WithDeadline sets the task's absolute deadline in the runtime's own
+// clock — simulated cycles on the simulator, wall-clock nanoseconds
+// since Run on the native backend (both the scale Ctx.Now reads). A
+// task dispatched after its deadline is shed instead of run when
+// shedding is armed; the simulator enforces deadlines deterministically
+// whenever one is set.
+func WithDeadline(at int64) SpawnOpt {
+	return SpawnOpt{kind: optWithDeadline, addr: at}
 }
 
 // Spawn creates a task executing fn. With no options the task has no
@@ -235,11 +268,28 @@ func (c *Ctx) Spawn(name string, fn func(*Ctx), opts ...SpawnOpt) {
 	td.Slot = slot
 	td.AffObj = affObj
 	td.Scope = c.scope
+	td.Prio = o.prio
+	td.DeadlineAt = o.deadline
 	if td.Scope != nil {
 		rt.sched.ScopeAdd(td.Scope)
 	}
 	mutex := o.mutex
 	t := rt.eng.NewTask(name, c.sc.Now(), func(sc *sim.Ctx) {
+		if td.DeadlineAt > 0 && sc.Now() > td.DeadlineAt {
+			// Deterministic deadline shed: the task dispatched past its
+			// deadline completes (scope and trace accounting) without
+			// running its body — the simulated twin of the native SLO
+			// layer's deadline rule.
+			ctr := &rt.mon.Per[sc.Proc().ID]
+			ctr.DeadlineMisses++
+			ctr.TasksShed++
+			if td.Scope != nil {
+				rt.sched.ScopeDone(sc, td.Scope)
+			}
+			rt.sched.TraceDone(sc)
+			rt.freeTaskDesc(td)
+			return
+		}
 		cc := &Ctx{sc: sc, rt: rt, scope: td.Scope}
 		for _, ob := range prefetch {
 			size := ob.size
@@ -300,7 +350,7 @@ func (c *Ctx) SpawnN(name string, n int, fn func(*Ctx, int), opts func(i int) []
 // member index.
 func (c *Ctx) spawnNNative(name string, n int, fn func(*Ctx, int), opts func(i int) []SpawnOpt) {
 	rt := c.rt
-	get := func(i int) (core.Affinity, *native.Monitor) {
+	get := func(i int) (core.Affinity, *native.Monitor, int8, int64) {
 		var o spawnOptions
 		if opts != nil {
 			for _, opt := range opts(i) {
@@ -314,7 +364,7 @@ func (c *Ctx) spawnNNative(name string, n int, fn func(*Ctx, int), opts func(i i
 		if o.mutex != nil {
 			nm = &o.mutex.nm
 		}
-		return o.aff, nm
+		return o.aff, nm, o.prio, o.deadline
 	}
 	c.nc.SpawnN(name, n, get, fn)
 }
@@ -336,7 +386,7 @@ func (c *Ctx) spawnNative(name string, fn func(*Ctx), opts []SpawnOpt) {
 	if o.mutex != nil {
 		nm = &o.mutex.nm
 	}
-	c.nc.SpawnPayload(name, o.aff, nm, fn)
+	c.nc.SpawnPayload(name, o.aff, nm, fn, o.prio, o.deadline)
 }
 
 // homeServer returns the server treated as the home processor of the

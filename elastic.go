@@ -1,0 +1,129 @@
+package cool
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the public surface of elastic worker pools and the SLO
+// layer on the native backend: live pool growth (AddWorkers), planned
+// worker retirement (Retire / RetireWorkers — a clean drain, distinct
+// from a fault-injected kill), the pool-membership timeline reported
+// after the run (PoolEvent), overload shedding (ShedPolicy, with
+// per-spawn WithPriority / WithDeadline options), and the threshold
+// autoscaler (AutoscalePolicy).
+
+// ShedPolicy arms the native backend's SLO layer (Config.Shed):
+// per-spawn priorities and deadlines are enforced at dispatch, and
+// under overload the runtime sheds the lowest-priority work first. A
+// shed task completes for every liveness mechanism (its waitfor scope,
+// Run's termination) without running its body; the drops are counted in
+// Counters.TasksShed and Counters.DeadlineMisses.
+type ShedPolicy struct {
+	// QueueHighWater is the machine-wide backlog per alive worker above
+	// which shedding engages (default 64).
+	QueueHighWater int
+	// RetryShed defers below-priority-floor tasks through the retry
+	// queue (requires Config.Retry) instead of dropping them; tasks
+	// whose retry budget runs out are dropped, never aborted.
+	RetryShed bool
+}
+
+// AutoscalePolicy (Config.Autoscale, native backend) runs a threshold
+// autoscaler inside the runtime: each control epoch it compares the
+// queued backlog per alive worker against the watermarks and calls
+// AddWorkers or Retire. Requires Config.MaxProcessors headroom.
+type AutoscalePolicy struct {
+	// IntervalNS is the control epoch length in wall-clock nanoseconds
+	// (default 1ms).
+	IntervalNS int64
+	// HighWater grows the pool when the backlog per alive worker
+	// exceeds it (default 8); LowWater shrinks the pool when the
+	// backlog falls below it while workers sit parked (default 1).
+	HighWater, LowWater int
+	// MinProcs and MaxProcs bound the pool size (defaults: Processors
+	// and MaxProcessors).
+	MinProcs, MaxProcs int
+	// Step is the number of workers added or retired per epoch
+	// (default 1).
+	Step int
+}
+
+// PoolEvent is one worker-pool membership change, in occurrence order:
+// "add" (AddWorkers or the autoscaler grew the pool), "drain" (planned
+// retirement completed; DurationNS carries the request-to-completion
+// latency and Moved the tasks re-homed), or "kill" (a fault-injected
+// FailServer). A healthy fixed-size run reports no events.
+type PoolEvent struct {
+	Kind       string // "add", "drain", "kill"
+	Proc       int    // the worker added or retired
+	TimeNS     int64  // completion time, nanoseconds since Run started
+	DurationNS int64  // drain only: request-to-completion latency
+	Moved      int    // tasks re-homed off the retiring worker
+}
+
+// elasticErr reports an elastic-pool call on the wrong backend.
+func (rt *Runtime) elasticErr(op string) error {
+	if rt.backend != BackendNative {
+		return fmt.Errorf("cool: %s requires Backend: BackendNative", op)
+	}
+	return fmt.Errorf("cool: %s requires spare capacity (Config.MaxProcessors)", op)
+}
+
+// AddWorkers grows the native worker pool by n mid-run, activating
+// spare capacity reserved by Config.MaxProcessors. The new workers
+// join the victim rings and accept placements immediately. Returns the
+// processor ids added. Callable only while Run is executing.
+func (rt *Runtime) AddWorkers(n int) ([]int, error) {
+	if rt.backend != BackendNative {
+		return nil, rt.elasticErr("AddWorkers")
+	}
+	return rt.nat.AddWorkers(n)
+}
+
+// Retire requests a planned drain of n workers (the runtime picks the
+// victims): each stops accepting new placements, finishes its running
+// task, and re-homes its queued work affinity-preserving — whole
+// task-affinity sets move as a unit and never split. The request is
+// asynchronous; completion appears as a "drain" PoolEvent. At least
+// one worker always survives. Returns the ids chosen.
+func (rt *Runtime) Retire(n int) ([]int, error) {
+	if rt.backend != BackendNative {
+		return nil, rt.elasticErr("Retire")
+	}
+	return rt.nat.DrainN(n)
+}
+
+// RetireWorkers is Retire for an explicit set of processor ids.
+func (rt *Runtime) RetireWorkers(ids ...int) error {
+	if rt.backend != BackendNative {
+		return rt.elasticErr("RetireWorkers")
+	}
+	return rt.nat.Drain(ids...)
+}
+
+// PoolSize returns the number of workers currently accepting work:
+// Processors on the simulator, the live elastic pool size on the
+// native backend.
+func (rt *Runtime) PoolSize() int {
+	if rt.backend == BackendNative {
+		return rt.nat.PoolSize()
+	}
+	return rt.cfg.Processors
+}
+
+// PoolEvents returns the pool-membership timeline (adds, drains,
+// kills) ordered by completion time. Empty on the simulator and on
+// healthy fixed-size native runs. Call after Run for a stable view.
+func (rt *Runtime) PoolEvents() []PoolEvent {
+	if rt.backend != BackendNative {
+		return nil
+	}
+	evs := rt.nat.PoolEvents()
+	out := make([]PoolEvent, len(evs))
+	for i, e := range evs {
+		out[i] = PoolEvent{Kind: e.Kind, Proc: e.Proc, TimeNS: e.TimeNS, DurationNS: e.DurationNS, Moved: e.Moved}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].TimeNS < out[b].TimeNS })
+	return out
+}

@@ -60,6 +60,13 @@ type TaskDesc struct {
 	// any waitfor). Completion decrements the scope.
 	Scope *Scope
 
+	// Prio is the task's priority class in [0,7] (0 = default, higher
+	// is more important); DeadlineAt, when positive, is the absolute
+	// simulated cycle after which the task is shed instead of run. Both
+	// come from the WithPriority/WithDeadline spawn options.
+	Prio       int8
+	DeadlineAt int64
+
 	// LastProc is the processor the task last ran on; continuations are
 	// re-enqueued there.
 	LastProc int

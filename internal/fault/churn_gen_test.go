@@ -1,0 +1,25 @@
+package fault
+
+import "testing"
+
+func TestChurnPlansContainChurn(t *testing.T) {
+	adds, drains := 0, 0
+	for seed := int64(1); seed <= 60; seed++ {
+		p := RandomChaosChurn(seed, 8, 2, 2+int(seed%5), []string{"w"})
+		if err := p.Validate(8, 2); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, ev := range p.Events {
+			switch ev.Kind {
+			case AddWorker:
+				adds++
+			case Drain:
+				drains++
+			}
+		}
+	}
+	t.Logf("60 seeds: %d AddWorker, %d Drain events", adds, drains)
+	if adds == 0 || drains == 0 {
+		t.Fatalf("churn generator produced adds=%d drains=%d; want both > 0", adds, drains)
+	}
+}

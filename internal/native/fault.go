@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/bits"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -246,7 +247,7 @@ func (rt *Runtime) armFaults(p *fault.Plan) {
 		}
 		return inj
 	}
-	fvs := make([]*workerFaults, rt.cfg.Procs)
+	fvs := make([]*workerFaults, len(rt.workers))
 	getFv := func(proc int) *workerFaults {
 		if fvs[proc] == nil {
 			fvs[proc] = &workerFaults{}
@@ -255,9 +256,13 @@ func (rt *Runtime) armFaults(p *fault.Plan) {
 	}
 	for _, ev := range p.Events {
 		switch ev.Kind {
-		case fault.Slowdown, fault.Stall, fault.Fail:
+		case fault.Slowdown, fault.Stall, fault.Fail, fault.Drain:
 			fv := getFv(ev.Proc)
 			fv.pending = append(fv.pending, ev)
+		case fault.AddWorker:
+			// Pool growth has no victim worker; the timekeeper applies
+			// due adds (best-effort — capacity may be exhausted).
+			rt.addTimes = append(rt.addTimes, ev.At)
 		case fault.Flaky:
 			fv := getFv(ev.Proc)
 			fv.flaky = append(fv.flaky, nsWindow{ev.At, ev.At + ev.Cycles})
@@ -293,6 +298,7 @@ func (rt *Runtime) armFaults(p *fault.Plan) {
 		}
 		rt.workers[i].fev = fv
 	}
+	sort.Slice(rt.addTimes, func(a, b int) bool { return rt.addTimes[a] < rt.addTimes[b] })
 	rt.inj = inj
 }
 
@@ -314,9 +320,11 @@ func (rt *Runtime) isDead(id int) bool {
 	return rt.dead.Load()&(1<<uint(id)) != 0
 }
 
-// aliveWorkers returns the number of workers not retired.
+// aliveWorkers returns the number of workers not retired (spare slots
+// reserved by MaxProcs sit in the dead mask until AddWorkers claims
+// them, so they never count).
 func (rt *Runtime) aliveWorkers() int {
-	return rt.cfg.Procs - bits.OnesCount64(rt.dead.Load())
+	return len(rt.workers) - bits.OnesCount64(rt.dead.Load())
 }
 
 // aliveWorker maps sv to itself when alive, otherwise deterministically
@@ -326,7 +334,7 @@ func (rt *Runtime) aliveWorker(sv int) int {
 	if !rt.isDead(sv) {
 		return sv
 	}
-	n := rt.cfg.Procs
+	n := len(rt.workers)
 	for d := 1; d < n; d++ {
 		v := (sv + d) % n
 		if !rt.isDead(v) && rt.sameCluster(sv, v) {
@@ -345,7 +353,7 @@ func (rt *Runtime) aliveWorker(sv int) int {
 // spreadAlive returns surviving workers in rotation, for load-balanced
 // redistribution of tasks with no binding affinity.
 func (rt *Runtime) spreadAlive() int {
-	n := rt.cfg.Procs
+	n := len(rt.workers)
 	for i := 0; i < n; i++ {
 		v := int(rt.rr.Add(1)-1) % n
 		if !rt.isDead(v) {
@@ -401,7 +409,16 @@ func (rt *Runtime) checkFaults(w *worker, topLevel bool) bool {
 				fv.idx.Store(int32(i))
 				return false
 			}
-			rt.retire(w)
+			rt.retireWith(w, true, 0)
+			return true
+		case fault.Drain:
+			// A planned drain is deferred exactly like death while the
+			// worker is helping inside a task body.
+			if !topLevel {
+				fv.idx.Store(int32(i))
+				return false
+			}
+			rt.retireWith(w, false, ev.At)
 			return true
 		}
 		now = rt.nowNS()
@@ -450,14 +467,26 @@ func (rt *Runtime) sleep(w *worker, d time.Duration) {
 	}
 }
 
-// retire permanently stops worker w — the native FailServer: mark the
-// dead bit, drain every queued task under w's own lock, then
-// redistribute affinity-preserving: whole task-affinity sets re-home as
-// a unit under their shard lock, object-bound tasks move to the nearest
-// same-cluster survivor, everything else spreads round-robin. Runs on
-// w's own goroutine at a top-level dispatch point (never mid-task), so
-// there is no partially-run task to hand off — retirement is the
-// planned, clean half of elastic worker pools (ROADMAP item 5).
+// retireWith permanently stops worker w, as a fault-injected kill
+// (kill=true — the native FailServer) or a planned drain (kill=false —
+// the clean half of elastic worker pools, reqNS carrying the request
+// time for the drain-latency report): mark the dead bit, drain every
+// queued task under w's own lock, then redistribute
+// affinity-preserving: whole task-affinity sets re-home as a unit under
+// their shard lock, object-bound tasks move to the nearest same-cluster
+// survivor, everything else spreads round-robin. Runs on w's own
+// goroutine at a top-level dispatch point (never mid-task), so there is
+// no partially-run task to hand off.
+//
+// The dead bit is published while w.mu is held: a whole-set steal needs
+// the victim's lock, and placeSet's TryLock fast path falls through to
+// a slow path that revalidates the bit — so once the lock is taken here
+// there is no window in which a set can be re-homed ONTO w or stolen
+// half-accounted off it, which is what keeps SetSplits at zero through
+// retirement. The lock-free inbox keeps the older ordering argument:
+// the bit is published (under the lock) before the inbox swap below, so
+// a racing pusher either lands before the swap and is drained here, or
+// re-checks the bit after its push and sweeps its own record.
 //
 // The drain must not hold w.mu while inserting into survivors: a thief
 // concurrently whole-set-stealing via the in-order lock path could hold
@@ -465,19 +494,21 @@ func (rt *Runtime) sleep(w *worker, d time.Duration) {
 // under w.mu would wait on that thief's victim lock — a cycle. Draining
 // into a slice first keeps the protocol's rule that no worker lock is
 // taken while holding another outside the ordered stealSet path.
-func (rt *Runtime) retire(w *worker) {
+func (rt *Runtime) retireWith(w *worker, kill bool, reqNS int64) {
 	bit := uint64(1) << uint(w.id)
+	ctr := &rt.cfg.Mon.Per[w.id]
+	if kill {
+		ctr.FaultEvents++
+		rt.trace(w, trace.KindFault, w.id, "proc-fail", 0)
+	}
+
+	w.mu.Lock()
 	for {
 		old := rt.dead.Load()
 		if rt.dead.CompareAndSwap(old, old|bit) {
 			break
 		}
 	}
-	ctr := &rt.cfg.Mon.Per[w.id]
-	ctr.FaultEvents++
-	rt.trace(w, trace.KindFault, w.id, "proc-fail", 0)
-
-	w.mu.Lock()
 	var drained []*task
 	if rt.deque {
 		for q := w.nonEmpty.head; q != nil; q = w.nonEmpty.head {
@@ -549,26 +580,39 @@ func (rt *Runtime) retire(w *worker) {
 		w.mu.Unlock()
 	}
 
-	if rt.aliveWorkers() == 0 {
-		// No survivor to hand the work to (plans validate against this;
-		// the watchdog reports the stall if it happens anyway).
-		return
-	}
-	for _, t := range drained {
-		name := t.name
-		var tgt int
-		if t.class == core.ClassTaskSet {
-			// placeSet revalidates the set's home under its shard lock
-			// and re-homes it off the dead worker; every member chases
-			// the same home, so the set moves whole and never splits.
-			tgt = rt.placeSet(t, t.affObj, ctr)
-		} else {
-			tgt = rt.insertFrom(t, ctr, nil)
+	if rt.aliveWorkers() > 0 {
+		for _, t := range drained {
+			name := t.name
+			var tgt int
+			if t.class == core.ClassTaskSet {
+				// placeSet revalidates the set's home under its shard lock
+				// and re-homes it off the dead worker; every member chases
+				// the same home, so the set moves whole and never splits.
+				tgt = rt.placeSet(t, t.affObj, ctr)
+			} else {
+				tgt = rt.insertFrom(t, ctr, nil)
+			}
+			if kill {
+				ctr.Redistributed++
+				rt.trace(w, trace.KindRedistribute, w.id, name, int64(tgt))
+			}
+			rt.wakeAfterEnqueue(tgt, w.id)
 		}
-		ctr.Redistributed++
-		rt.trace(w, trace.KindRedistribute, w.id, name, int64(tgt))
-		rt.wakeAfterEnqueue(tgt, w.id)
 	}
+	// else: no survivor to hand the work to (plans and the Drain API
+	// validate against this; the watchdog reports the stall anyway).
+
+	rt.epoch.Add(1)
+	now := rt.nowNS()
+	ev := PoolEvent{Kind: "kill", Proc: w.id, TimeNS: now, Moved: len(drained)}
+	if !kill {
+		ev.Kind = "drain"
+		if reqNS > 0 && now > reqNS {
+			ev.DurationNS = now - reqNS
+		}
+		rt.trace(w, trace.KindPool, w.id, "drain", int64(len(drained)))
+	}
+	rt.recordPoolEvent(ev)
 }
 
 // launchAborted consults the transient-fault injections for a launch of
@@ -626,7 +670,7 @@ func (rt *Runtime) launchAborted(w *worker, t *task) bool {
 // the flaky worker. The choice is revalidated against worker deaths at
 // delivery time.
 func (rt *Runtime) retryTarget(t *task, failedOn, attempt int) int {
-	n := rt.cfg.Procs
+	n := len(rt.workers)
 	switch t.class {
 	case core.ClassTaskSet:
 		if h := rt.setHomeOf(t.affObj); h >= 0 && !rt.isDead(h) {
@@ -677,7 +721,7 @@ func (rt *Runtime) deliverRetry(it retryItem) {
 // queueDepths returns the tasks queued per worker (dead workers report
 // -1) — the progress snapshot embedded in deadline and watchdog errors.
 func (rt *Runtime) queueDepths() []int {
-	out := make([]int, rt.cfg.Procs)
+	out := make([]int, len(rt.workers))
 	for i, w := range rt.workers {
 		if rt.isDead(i) {
 			out[i] = -1
@@ -740,6 +784,15 @@ func (rt *Runtime) timekeeper() {
 				break
 			}
 			rt.deliverRetry(it)
+		}
+		// Apply due plan-scheduled pool growth (best-effort: capacity
+		// may be exhausted or the run already joining).
+		for rt.addIdx < len(rt.addTimes) && rt.addTimes[rt.addIdx] <= now {
+			rt.addIdx++
+			rt.AddWorkers(1)
+		}
+		if rt.shed != nil {
+			rt.shedControl()
 		}
 		// Wake workers whose next timed fault event is due: a parked
 		// worker applies its events at the top of its loop.

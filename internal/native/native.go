@@ -94,6 +94,22 @@ type Config struct {
 	// task completes for this long while work is outstanding stops with
 	// a *NoProgressError instead of hanging.
 	NoProgressNS int64
+
+	// MaxProcs, when above Procs, makes the pool elastic: worker slots
+	// up to this capacity are built at New as dead spares that
+	// AddWorkers can bring up mid-run (and Drain can retire again).
+	// Zero means a fixed pool of Procs workers.
+	MaxProcs int
+
+	// Shed, when non-nil, arms the SLO layer: per-spawn deadlines are
+	// enforced at dispatch and lowest-priority work is shed first under
+	// backlog pressure (see ShedConfig).
+	Shed *ShedConfig
+
+	// Autoscale, when non-nil, runs the threshold autoscaler, growing
+	// and draining the pool per control epoch (see AutoscaleConfig).
+	// Requires MaxProcs.
+	Autoscale *AutoscaleConfig
 }
 
 // TaskFailure reports a panicked task. The embedding runtime converts it
@@ -134,6 +150,13 @@ type task struct {
 	tracked  bool
 	injPanic bool
 	aborts   int
+
+	// SLO fields (WithPriority/WithDeadline spawn options): the
+	// priority class in [0,7] and the absolute wall-clock deadline in
+	// nanoseconds since Run (0 = none). Read at dispatch when a
+	// ShedConfig is armed.
+	prio       int8
+	deadlineNS int64
 
 	// ctx is the execution context handed to the task body, embedded in
 	// the pooled record so running a task allocates nothing. It is valid
@@ -213,6 +236,20 @@ type worker struct {
 	wake  chan struct{} // cap 1; parking/wakeup token
 	timer *time.Timer   // reused across timed parks; nil until first use
 
+	// Elastic-pool state. drainReq holds the wall-clock time a planned
+	// drain was requested (0 = none); the worker's own goroutine
+	// observes it at top-level dispatch points and retires. exited
+	// reports the goroutine has fully stopped (flipped under poolMu),
+	// making a dead slot safe to resurrect. ringEpoch and the pr*
+	// slices are the owner-private pruned victim rings, rebuilt when
+	// the membership epoch moves (elastic runs only).
+	drainReq  atomic.Int64
+	exited    atomic.Bool
+	ringEpoch int64
+	prCluster []int
+	prRemote  []int
+	prFlat    []int
+
 	// fev is this worker's share of the fault plan (nil without one),
 	// consumed by the worker's own goroutine at dispatch points.
 	fev *workerFaults
@@ -225,10 +262,12 @@ type worker struct {
 type Runtime struct {
 	cfg     Config
 	pol     core.Policy
-	workers []*worker
+	workers []*worker // sized to capacity (np); slots past Procs start as dead spares
+	np      int       // pool capacity: MaxProcs when elastic, Procs otherwise
 
-	// Static victim rings in (thief+d)%P probe order (processors never
-	// retire natively, so they are built once).
+	// Static victim rings in (thief+d)%np probe order over the full
+	// capacity, built once. Elastic runs steal through per-worker
+	// pruned copies that are rebuilt when the membership epoch moves.
 	ringCluster [][]int
 	ringRemote  [][]int
 	ringFlat    [][]int
@@ -281,6 +320,36 @@ type Runtime struct {
 	deadlineNS   int64
 	noProgressNS int64
 
+	// Elastic pool state (see elastic.go). poolMu guards the join
+	// protocol counters, the joining flag, and the PoolEvents timeline;
+	// epoch counts membership changes for the pruned victim rings;
+	// addTimes holds the due times of plan-injected AddWorker events
+	// (consumed by the timekeeper, addIdx is its private cursor).
+	elastic     bool
+	poolMu      sync.Mutex
+	poolStarted int
+	poolExited  int
+	joining     bool
+	running     bool
+	allExited   chan struct{}
+	idleExit    chan struct{}
+	idleOnce    sync.Once
+	poolEvents  []PoolEvent
+	epoch       atomic.Int64
+	addTimes    []int64
+	addIdx      int
+
+	// SLO state (see shed.go). prioLive counts not-yet-completed tasks
+	// per priority class so the floor controller can find the lowest
+	// live class; maintained only when shed is armed.
+	shed      *ShedConfig
+	shedFloor atomic.Int32
+	prioLive  [maxPrio + 1]atomic.Int64
+
+	// Autoscaler (see elastic.go).
+	auto     *AutoscaleConfig
+	autoDone sync.WaitGroup
+
 	// deque selects the lock-free scheduler (Chase-Lev deques + inboxes,
 	// the default); false is the mutex-queue A/B baseline.
 	deque bool
@@ -291,10 +360,18 @@ type Runtime struct {
 }
 
 // New builds a native runtime. The configuration must carry a Home
-// lookup and a perfmon monitor with one row per worker.
+// lookup and a perfmon monitor with one row per worker slot (the full
+// MaxProcs capacity when the pool is elastic).
 func New(cfg Config) (*Runtime, error) {
 	if cfg.Procs <= 0 || cfg.Procs > 64 {
 		return nil, fmt.Errorf("native: worker count %d out of range [1,64]", cfg.Procs)
+	}
+	np := cfg.Procs
+	if cfg.MaxProcs > 0 {
+		if cfg.MaxProcs < cfg.Procs || cfg.MaxProcs > 64 {
+			return nil, fmt.Errorf("native: MaxProcs %d out of range [%d,64]", cfg.MaxProcs, cfg.Procs)
+		}
+		np = cfg.MaxProcs
 	}
 	if cfg.ClusterSize <= 0 {
 		return nil, fmt.Errorf("native: ClusterSize must be positive")
@@ -302,38 +379,86 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.PageSize <= 0 {
 		return nil, fmt.Errorf("native: PageSize must be positive")
 	}
-	if cfg.Home == nil || cfg.Mon == nil || len(cfg.Mon.Per) < cfg.Procs {
-		return nil, fmt.Errorf("native: Home lookup and a %d-row perfmon monitor are required", cfg.Procs)
+	if cfg.Home == nil || cfg.Mon == nil || len(cfg.Mon.Per) < np {
+		return nil, fmt.Errorf("native: Home lookup and a %d-row perfmon monitor are required", np)
 	}
 	pol := cfg.Pol
 	if pol.QueueArraySize <= 0 {
 		pol.QueueArraySize = 64
 	}
 	rt := &Runtime{
-		cfg:    cfg,
-		pol:    pol,
-		shards: make([]setShard, numSetShards),
-		done:   make(chan struct{}),
-		stopc:  make(chan struct{}),
+		cfg:       cfg,
+		pol:       pol,
+		np:        np,
+		shards:    make([]setShard, numSetShards),
+		done:      make(chan struct{}),
+		stopc:     make(chan struct{}),
+		allExited: make(chan struct{}),
+		idleExit:  make(chan struct{}),
 	}
+	rt.elastic = cfg.MaxProcs > 0
 	rt.retry = cfg.Retry
 	rt.deadlineNS = cfg.DeadlineNS
 	rt.noProgressNS = cfg.NoProgressNS
-	rt.armed = cfg.Faults != nil || rt.retry.enabled() || rt.deadlineNS > 0 || rt.noProgressNS > 0
+	if cfg.Shed != nil {
+		sc := *cfg.Shed
+		if sc.QueueHighWater <= 0 {
+			sc.QueueHighWater = 64
+		}
+		rt.shed = &sc
+	}
+	if cfg.Autoscale != nil {
+		if !rt.elastic {
+			return nil, fmt.Errorf("native: Autoscale requires spare capacity (MaxProcs)")
+		}
+		a := *cfg.Autoscale
+		if a.IntervalNS <= 0 {
+			a.IntervalNS = int64(time.Millisecond)
+		}
+		if a.HighWater <= 0 {
+			a.HighWater = 8
+		}
+		if a.LowWater <= 0 {
+			a.LowWater = 1
+		}
+		if a.Min <= 0 {
+			a.Min = cfg.Procs
+		}
+		if a.Max <= 0 || a.Max > np {
+			a.Max = np
+		}
+		if a.Step <= 0 {
+			a.Step = 1
+		}
+		if a.Min > a.Max {
+			return nil, fmt.Errorf("native: Autoscale Min %d above Max %d", a.Min, a.Max)
+		}
+		rt.auto = &a
+	}
+	rt.armed = cfg.Faults != nil || rt.retry.enabled() || rt.deadlineNS > 0 || rt.noProgressNS > 0 || rt.shed != nil
 	for i := range rt.shards {
 		rt.shards[i].home = make(map[int64]int)
 	}
 	rt.clusterOnly.Store(pol.ClusterStealingOnly)
 	rt.deque = !cfg.MutexQueue
-	rt.workers = make([]*worker, cfg.Procs)
+	rt.workers = make([]*worker, np)
+	var spareMask uint64
 	for i := range rt.workers {
 		w := &worker{id: i, slots: make([]taskQueue, pol.QueueArraySize), wake: make(chan struct{}, 1)}
 		for j := range w.slots {
 			w.slots[j].slotIdx = j
 		}
 		w.deq.init()
+		w.exited.Store(true) // no goroutine yet; AddWorkers may claim the slot
+		w.ringEpoch = -1
 		rt.workers[i] = w
+		if i >= cfg.Procs {
+			spareMask |= 1 << uint(i)
+		}
 	}
+	// Spare slots are born dead: every insert path already reroutes
+	// around dead workers, so the spares need no new special cases.
+	rt.dead.Store(spareMask)
 	rt.buildVictimRings()
 	if cfg.Faults != nil {
 		rt.armFaults(cfg.Faults)
@@ -346,7 +471,7 @@ func (rt *Runtime) sameCluster(p, q int) bool {
 }
 
 func (rt *Runtime) buildVictimRings() {
-	n := rt.cfg.Procs
+	n := len(rt.workers)
 	rt.ringCluster = make([][]int, n)
 	rt.ringRemote = make([][]int, n)
 	rt.ringFlat = make([][]int, n)
@@ -411,20 +536,42 @@ func (rt *Runtime) Run(main func(*Ctx)) error {
 	root.name, root.fn = "main", main
 	root.class, root.server, root.slot = core.ClassProcessor, 0, -1
 	rt.live.Store(1)
+	if rt.shed != nil {
+		rt.prioLive[0].Add(1)
+	}
 	rt.insertAndWake(root, 0)
 	if rt.armed {
 		rt.tkDone.Add(1)
 		go rt.timekeeper()
 	}
-	var wg sync.WaitGroup
-	for _, w := range rt.workers {
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			rt.loop(w)
-		}(w)
+	// Pool-join protocol: a WaitGroup cannot absorb AddWorkers racing
+	// with the join (Add after Wait began), so worker goroutines are
+	// counted under poolMu and Run waits for started == exited after
+	// flipping joining (which refuses further growth).
+	rt.poolMu.Lock()
+	rt.running = true
+	for i := 0; i < rt.cfg.Procs; i++ {
+		rt.startWorkerLocked(rt.workers[i])
 	}
-	wg.Wait()
+	rt.poolMu.Unlock()
+	if rt.auto != nil {
+		rt.autoDone.Add(1)
+		go rt.autoscaler()
+	}
+	select {
+	case <-rt.done:
+	case <-rt.stopc:
+	case <-rt.idleExit:
+	}
+	rt.poolMu.Lock()
+	rt.joining = true
+	rt.running = false
+	if rt.poolExited == rt.poolStarted {
+		close(rt.allExited)
+	}
+	rt.poolMu.Unlock()
+	<-rt.allExited
+	rt.autoDone.Wait()
 	rt.tkDone.Wait()
 	rt.elapsed.Store(time.Since(rt.start).Nanoseconds())
 	rt.failMu.Lock()
@@ -555,6 +702,9 @@ func (rt *Runtime) loop(w *worker) {
 	}
 	defer closeBurst()
 	for {
+		if rt.elastic && rt.drainRequested(w) {
+			return // planned retirement
+		}
 		if rt.armed {
 			if rt.stopped() {
 				return
@@ -586,6 +736,9 @@ func (rt *Runtime) loop(w *worker) {
 // injections (flaky windows, planted launch failures) that may abort
 // the launch and schedule a retry instead.
 func (rt *Runtime) dispatch(w *worker, t *task) {
+	if rt.shed != nil && rt.maybeShed(w, t) {
+		return
+	}
 	if rt.armed && rt.launchAborted(w, t) {
 		return
 	}
@@ -747,7 +900,7 @@ func (rt *Runtime) wakeAfterEnqueue(target, from int) {
 // filling the task's placement fields. Task-affinity sets are resolved
 // and inserted by placeSet, under their set-table shard.
 func (rt *Runtime) place(t *task, a core.Affinity, spawner int) {
-	p := rt.cfg.Procs
+	p := rt.np
 	if rt.pol.IgnoreHints {
 		t.class, t.server = core.ClassPlain, int(rt.rr.Add(1)-1)%p
 		return
@@ -823,7 +976,7 @@ func (rt *Runtime) placeSet(t *task, obj int64, ctr *perfmon.Counters) int {
 			if rt.pol.PlaceSetsLeastLoaded {
 				sv = rt.leastLoaded()
 			} else {
-				sv = int(rt.rr.Add(1)-1) % rt.cfg.Procs
+				sv = int(rt.rr.Add(1)-1) % rt.np
 			}
 		}
 		if rt.dead.Load() != 0 && rt.isDead(sv) {
@@ -1093,12 +1246,15 @@ func (rt *Runtime) insertAndWake(t *task, from int) {
 // must not charge a task that was never enqueued — a leaked live count
 // would keep done from ever closing and hang Run instead of returning
 // the recorded failure.
-func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn func(*Ctx), payload any, idx int32) {
+func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn func(*Ctx), payload any, idx int32, prio int8, deadlineNS int64) {
 	from := c.w.id
 	rt.cfg.Mon.Per[from].Spawns++
 	t := rt.newTask(c.w)
 	t.name, t.fn, t.payload, t.mon, t.idx = name, fn, payload, mon, idx
 	t.scope = c.scope
+	if rt.shed != nil {
+		t.prio, t.deadlineNS = clampPrio(prio), deadlineNS
+	}
 	if in := rt.inj; in != nil && in.tracked[name] {
 		in.noteSpawn(t) // assigns the per-name index a fault plan targets
 	}
@@ -1107,6 +1263,9 @@ func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn 
 			t.scope.n.Add(1)
 		}
 		rt.live.Add(1)
+		if rt.shed != nil {
+			rt.prioLive[t.prio].Add(1)
+		}
 		server := rt.placeSet(t, a.TaskObj, &rt.cfg.Mon.Per[from]) // t is published after this
 		rt.trace(c.w, trace.KindEnqueue, -1, name, int64(server))
 		rt.wakeAfterEnqueue(server, from)
@@ -1117,6 +1276,9 @@ func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn 
 		t.scope.n.Add(1)
 	}
 	rt.live.Add(1)
+	if rt.shed != nil {
+		rt.prioLive[t.prio].Add(1)
+	}
 	rt.insertAndWake(t, from)
 }
 
@@ -1139,7 +1301,7 @@ func (rt *Runtime) spawn(c *Ctx, name string, a core.Affinity, mon *Monitor, fn 
 // Mutex mode spawns the children one at a time, each with its own
 // insert and wake — the pre-deque baseline the A/B harness measures
 // against.
-func (rt *Runtime) spawnN(c *Ctx, name string, n int, get func(int) (core.Affinity, *Monitor), payload any) {
+func (rt *Runtime) spawnN(c *Ctx, name string, n int, get func(int) (core.Affinity, *Monitor, int8, int64), payload any) {
 	if n <= 0 {
 		return
 	}
@@ -1148,8 +1310,8 @@ func (rt *Runtime) spawnN(c *Ctx, name string, n int, get func(int) (core.Affini
 	ctr := &rt.cfg.Mon.Per[from]
 	if !rt.deque {
 		for i := 0; i < n; i++ {
-			a, mon := get(i)
-			rt.spawn(c, name, a, mon, nil, payload, int32(i))
+			a, mon, prio, dl := get(i)
+			rt.spawn(c, name, a, mon, nil, payload, int32(i), prio, dl)
 		}
 		return
 	}
@@ -1161,8 +1323,11 @@ func (rt *Runtime) spawnN(c *Ctx, name string, n int, get func(int) (core.Affini
 		t := rt.newTask(w)
 		t.name, t.payload, t.idx = name, payload, int32(i)
 		t.scope = c.scope
-		a, mon := get(i)
+		a, mon, prio, dl := get(i)
 		t.mon = mon
+		if rt.shed != nil {
+			t.prio, t.deadlineNS = clampPrio(prio), dl
+		}
 		if in := rt.inj; in != nil && in.tracked[name] {
 			in.noteSpawn(t)
 		}
@@ -1183,6 +1348,11 @@ func (rt *Runtime) spawnN(c *Ctx, name string, n int, get func(int) (core.Affini
 		c.scope.n.Add(int64(n))
 	}
 	rt.live.Add(int64(n))
+	if rt.shed != nil {
+		for _, t := range batch {
+			rt.prioLive[t.prio].Add(1)
+		}
+	}
 	if allPlainSelf {
 		w.queued.Add(int64(n))
 		w.stealable.Add(int64(n))
@@ -1201,8 +1371,8 @@ func (rt *Runtime) spawnN(c *Ctx, name string, n int, get func(int) (core.Affini
 		// steal rule until the owner drains, which turns object-bound-
 		// heavy batches into failed-steal storms on the thieves' side.
 		if w.spawnHeads == nil {
-			w.spawnHeads = make([]*task, rt.cfg.Procs)
-			w.spawnTails = make([]*task, rt.cfg.Procs)
+			w.spawnHeads = make([]*task, rt.np)
+			w.spawnTails = make([]*task, rt.np)
 		}
 		var targets uint64
 		heads, tails := w.spawnHeads, w.spawnTails
@@ -1423,17 +1593,28 @@ func (rt *Runtime) steal(w *worker) *task {
 	if rt.pol.DisableStealing || rt.queuedTotal.Load() == 0 {
 		return nil
 	}
+	cluster, remote, flat := rt.ringCluster[w.id], rt.ringRemote[w.id], rt.ringFlat[w.id]
+	if rt.elastic {
+		// Steal through per-worker pruned ring copies, rebuilt lazily
+		// when the membership epoch moves, so scans skip retired and
+		// spare slots. A momentarily stale copy is only an inefficiency:
+		// the q == 0 skip below keeps dead victims from yielding work.
+		if e := rt.epoch.Load(); e != w.ringEpoch {
+			rt.pruneRings(w, e)
+		}
+		cluster, remote, flat = w.prCluster, w.prRemote, w.prFlat
+	}
 	clusterOnly := rt.clusterOnly.Load()
 	if rt.pol.ClusterStealFirst || clusterOnly {
-		if t := rt.stealScan(w, rt.ringCluster[w.id]); t != nil {
+		if t := rt.stealScan(w, cluster); t != nil {
 			return t
 		}
 		if clusterOnly {
 			return nil
 		}
-		return rt.stealScan(w, rt.ringRemote[w.id])
+		return rt.stealScan(w, remote)
 	}
-	return rt.stealScan(w, rt.ringFlat[w.id])
+	return rt.stealScan(w, flat)
 }
 
 // stealScan probes one victim ring in order. A probe that examined a
@@ -1810,6 +1991,9 @@ func (rt *Runtime) runTask(w *worker, t *task) {
 	if t.scope != nil {
 		rt.scopeDone(t.scope)
 	}
+	if rt.shed != nil {
+		rt.prioLive[t.prio].Add(-1)
+	}
 	rt.freeTask(w, t)
 	if rt.armed {
 		rt.completed.Add(1)
@@ -1888,24 +2072,28 @@ func (c *Ctx) Now() int64 { return c.rt.nowNS() }
 // Spawn creates and enqueues a task with the given affinity; mon, when
 // non-nil, makes it a mutex function on that monitor.
 func (c *Ctx) Spawn(name string, a core.Affinity, mon *Monitor, fn func(*Ctx)) {
-	c.rt.spawn(c, name, a, mon, fn, nil, -1)
+	c.rt.spawn(c, name, a, mon, fn, nil, -1, 0, 0)
 }
 
 // SpawnPayload creates and enqueues a task whose body is Config.Invoke
 // applied to payload. It lets the embedding runtime avoid allocating a
 // per-spawn wrapper closure: the adapter is configured once and the
 // payload (typically the user's func value) rides through the pooled
-// task record.
-func (c *Ctx) SpawnPayload(name string, a core.Affinity, mon *Monitor, payload any) {
-	c.rt.spawn(c, name, a, mon, nil, payload, -1)
+// task record. prio is the task's priority class (clamped to [0,7])
+// and deadlineNS, when positive, the absolute run-relative nanosecond
+// after which the task is shed instead of run; both are ignored unless
+// a ShedConfig is armed.
+func (c *Ctx) SpawnPayload(name string, a core.Affinity, mon *Monitor, payload any, prio int8, deadlineNS int64) {
+	c.rt.spawn(c, name, a, mon, nil, payload, -1, prio, deadlineNS)
 }
 
 // SpawnN creates and enqueues n sibling tasks sharing one payload; the
-// get callback supplies each member's affinity and optional monitor,
-// and member i runs through Config.InvokeN with index i. A burst
-// spawned this way is published as one batch — one deque publish and
-// one wake decision instead of n (see spawnN).
-func (c *Ctx) SpawnN(name string, n int, get func(int) (core.Affinity, *Monitor), payload any) {
+// get callback supplies each member's affinity, optional monitor,
+// priority class, and deadline, and member i runs through
+// Config.InvokeN with index i. A burst spawned this way is published
+// as one batch — one deque publish and one wake decision instead of n
+// (see spawnN).
+func (c *Ctx) SpawnN(name string, n int, get func(int) (core.Affinity, *Monitor, int8, int64), payload any) {
 	c.rt.spawnN(c, name, n, get, payload)
 }
 

@@ -51,6 +51,10 @@ type Counters struct {
 	Redistributed int64 // tasks drained off this (failed) server to survivors
 	Retries       int64 // task launches aborted here and retried elsewhere
 	GaveUp        int64 // launches whose retry budget ran out (fails the run)
+
+	// Overload shedding (native SLO layer).
+	TasksShed      int64 // tasks dropped before running (deadline expired or below the shed floor)
+	DeadlineMisses int64 // shed tasks whose per-spawn deadline had already passed
 }
 
 // Misses returns the total cache misses serviced by any memory.
@@ -90,6 +94,8 @@ func (c *Counters) Add(o Counters) {
 	c.Redistributed += o.Redistributed
 	c.Retries += o.Retries
 	c.GaveUp += o.GaveUp
+	c.TasksShed += o.TasksShed
+	c.DeadlineMisses += o.DeadlineMisses
 }
 
 // Monitor holds one Counters per processor.

@@ -38,6 +38,13 @@ const (
 	// retried (Arg = server chosen for the next attempt, -1 when the
 	// retry budget is exhausted and the run gives up).
 	KindRetry
+	// KindShed: an overloaded run dropped the task before it ran — its
+	// deadline had expired or its priority fell below the shed floor
+	// (Arg = the task's priority class).
+	KindShed
+	// KindPool: pool membership changed on Proc (Task names the change:
+	// "add", "drain", "kill"; Arg = tasks re-homed, 0 for adds).
+	KindPool
 )
 
 // String names the kind.
@@ -61,6 +68,10 @@ func (k Kind) String() string {
 		return "redist"
 	case KindRetry:
 		return "retry"
+	case KindShed:
+		return "shed"
+	case KindPool:
+		return "pool"
 	}
 	return "?"
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	cool "github.com/coolrts/cool"
 	"github.com/coolrts/cool/internal/apps"
@@ -104,10 +105,88 @@ func Run(opts Options) error {
 			}
 		}
 	}
+	// The SLO cells: per-spawn priority and deadline options armed on
+	// both backends, differentially validated against each other.
+	for _, p := range procs {
+		cell := fmt.Sprintf("slo synthetic P=%d", p)
+		if msgs := checkSLOCell(p); len(msgs) > 0 {
+			for _, m := range msgs {
+				failures = append(failures, cell+": "+m)
+			}
+			fmt.Fprintf(out, "FAIL %s: %s\n", cell, strings.Join(msgs, "; "))
+		} else {
+			fmt.Fprintf(out, "ok   %s\n", cell)
+		}
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("xcheck: %d mismatches:\n  %s", len(failures), strings.Join(failures, "\n  "))
 	}
 	return nil
+}
+
+// checkSLOCell differentially validates the per-spawn SLO options at a
+// fixed P: a deterministic task graph spawned with the full spread of
+// priority classes and far-future deadlines must produce identical
+// results and task counts on the simulator and on the native backend
+// with shedding armed. With no overload and no expirable deadline, the
+// options must steer shedding policy only — never results — so any
+// divergence (a shed task, a missed deadline, a changed sum) is a
+// semantic bug in the new native SLO paths.
+func checkSLOCell(procs int) []string {
+	const n = 256
+	run := func(cfg cool.Config) (int64, cool.Report, error) {
+		rt, err := cool.NewRuntime(cfg)
+		if err != nil {
+			return 0, cool.Report{}, err
+		}
+		var sum atomic.Int64
+		err = rt.Run(func(ctx *cool.Ctx) {
+			ctx.WaitFor(func() {
+				for i := 0; i < n; i++ {
+					i := i
+					ctx.Spawn("slo", func(*cool.Ctx) { sum.Add(int64(i*i + 1)) },
+						cool.WithPriority(i%8),
+						cool.WithDeadline(1<<60)) // never fires on either clock scale
+				}
+			})
+		})
+		return sum.Load(), rt.Report(), err
+	}
+	var msgs []string
+	simSum, simRep, err := run(cool.Config{Processors: procs})
+	if err != nil {
+		return []string{"sim: " + err.Error()}
+	}
+	natSum, natRep, err := run(cool.Config{
+		Processors: procs,
+		Backend:    cool.BackendNative,
+		// Armed but unreachable: the dispatch-time shed hook and the
+		// floor controller run on every task without ever firing.
+		Shed: &cool.ShedPolicy{QueueHighWater: 1 << 20},
+	})
+	if err != nil {
+		return []string{"native: " + err.Error()}
+	}
+	if simSum != natSum {
+		msgs = append(msgs, fmt.Sprintf("result sum: sim %d, native %d", simSum, natSum))
+	}
+	if simRep.Total.TasksRun != natRep.Total.TasksRun {
+		msgs = append(msgs, fmt.Sprintf("tasks run: sim %d, native %d",
+			simRep.Total.TasksRun, natRep.Total.TasksRun))
+	}
+	for _, b := range []struct {
+		label string
+		rep   cool.Report
+	}{{"sim", simRep}, {"native", natRep}} {
+		if b.rep.Total.TasksShed != 0 || b.rep.Total.DeadlineMisses != 0 {
+			msgs = append(msgs, fmt.Sprintf("%s: shed %d tasks, %d deadline misses on an unloaded run",
+				b.label, b.rep.Total.TasksShed, b.rep.Total.DeadlineMisses))
+		}
+		if b.rep.SetSplits != 0 {
+			msgs = append(msgs, fmt.Sprintf("%s: %d set splits", b.label, b.rep.SetSplits))
+		}
+	}
+	return msgs
 }
 
 // checkCell runs one (app, variant, procs) cell: a simulator reference,
@@ -162,6 +241,20 @@ func checkCell(app apps.App, variant string, procs, size int) []string {
 		Deadline:   30_000_000_000, // 30s wall clock: far beyond any cell
 	}, variant, size)
 	check("native armed", res, err)
+	// An SLO-armed native run: shedding enabled with an unreachable
+	// watermark, so the dispatch-time shed hook and the timekeeper's
+	// floor controller execute on every task without ever firing — the
+	// overhead path of the SLO layer must not perturb results either.
+	res, err = app.RunCfg(cool.Config{
+		Processors: procs,
+		Backend:    cool.BackendNative,
+		Shed:       &cool.ShedPolicy{QueueHighWater: 1 << 20},
+	}, variant, size)
+	check("native slo-armed", res, err)
+	if err == nil && (res.Report.Total.TasksShed != 0 || res.Report.Total.DeadlineMisses != 0) {
+		msgs = append(msgs, fmt.Sprintf("native slo-armed: shed %d tasks, %d deadline misses on an unloaded run",
+			res.Report.Total.TasksShed, res.Report.Total.DeadlineMisses))
+	}
 	return msgs
 }
 

@@ -49,6 +49,9 @@ type Counters struct {
 	Redistributed int64 // tasks drained off this (failed) server to survivors
 	Retries       int64 // task launches aborted here and retried elsewhere
 	GaveUp        int64 // launches whose retry budget ran out (fails the run)
+
+	TasksShed      int64 // tasks dropped by the overload-shedding SLO layer
+	DeadlineMisses int64 // tasks shed because their spawn deadline had expired
 }
 
 // Misses returns the total cache misses.
@@ -85,15 +88,24 @@ func (c Counters) HomeFraction() float64 {
 // Report summarizes one simulated execution.
 type Report struct {
 	Cycles     int64 // parallel execution time (max processor clock)
-	Processors int
-	BusyCycles int64 // sum over processors of cycles running tasks
-	IdleCycles int64 // sum over processors of cycles waiting for work
+	Processors int   // initial pool size (Config.Processors)
+	// MaxProcessors is the worker capacity: equal to Processors on the
+	// simulator and on fixed-size native pools, Config.MaxProcessors on
+	// elastic ones. Per has one row per capacity slot, so workers added
+	// mid-run report their counters like any other.
+	MaxProcessors int
+	BusyCycles    int64 // sum over processors of cycles running tasks
+	IdleCycles    int64 // sum over processors of cycles waiting for work
 	// SetSplits counts task-affinity set members enqueued or stolen away
 	// from their set's home; it must be zero under the default whole-set
 	// stealing policy on either backend (see Runtime.SetSplits).
 	SetSplits int64
 	Total     Counters
 	Per       []Counters
+	// PoolEvents is the worker-pool membership timeline (adds, planned
+	// drains, fault kills) in completion order; empty on the simulator
+	// and on healthy fixed-size native runs.
+	PoolEvents []PoolEvent
 }
 
 // Utilization returns busy cycles as a fraction of total processor-cycles.
@@ -112,10 +124,12 @@ func (r Report) Utilization() float64 {
 // spawns, steals, locks, wakes) have the same meaning on both backends.
 func (rt *Runtime) Report() Report {
 	r := Report{
-		Cycles:     rt.ElapsedCycles(),
-		Processors: rt.cfg.Processors,
-		SetSplits:  rt.SetSplits(),
-		Per:        make([]Counters, rt.cfg.Processors),
+		Cycles:        rt.ElapsedCycles(),
+		Processors:    rt.cfg.Processors,
+		MaxProcessors: len(rt.mon.Per),
+		SetSplits:     rt.SetSplits(),
+		Per:           make([]Counters, len(rt.mon.Per)),
+		PoolEvents:    rt.PoolEvents(),
 	}
 	for i := range rt.mon.Per {
 		p := rt.mon.Per[i]
@@ -150,6 +164,8 @@ func (rt *Runtime) Report() Report {
 			Redistributed:  p.Redistributed,
 			Retries:        p.Retries,
 			GaveUp:         p.GaveUp,
+			TasksShed:      p.TasksShed,
+			DeadlineMisses: p.DeadlineMisses,
 		}
 		r.Per[i] = c
 		addCounters(&r.Total, c)
@@ -196,6 +212,8 @@ func addCounters(dst *Counters, c Counters) {
 	dst.Redistributed += c.Redistributed
 	dst.Retries += c.Retries
 	dst.GaveUp += c.GaveUp
+	dst.TasksShed += c.TasksShed
+	dst.DeadlineMisses += c.DeadlineMisses
 }
 
 // String renders a compact human-readable summary.
