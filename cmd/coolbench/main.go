@@ -53,6 +53,11 @@ func main() {
 	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench-elastic") {
 		os.Exit(benchElasticMain(os.Args[1:]))
 	}
+	// The serving-layer benchmark (see bench_serve.go); also dispatched
+	// ahead of the shared -bench prefix.
+	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench-serve") {
+		os.Exit(benchServeMain(os.Args[1:]))
+	}
 	// The benchmark regression harness has its own flag set (see
 	// bench.go) and short-circuits the experiment machinery.
 	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench") {

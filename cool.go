@@ -183,6 +183,8 @@ type Config struct {
 // objects, then call Run exactly once.
 type Runtime struct {
 	cfg     machine.Config
+	pub     Config      // the public config this runtime was built from (Reset rebuilds from it)
+	pol     core.Policy // resolved scheduling policy (Reset re-applies it)
 	backend Backend
 	eng     *sim.Engine // sim backend only
 	space   *memsim.Space
@@ -198,6 +200,13 @@ type Runtime struct {
 	// single-threaded and never contends, but locking is cheap relative
 	// to allocation so it is taken unconditionally.
 	spaceMu sync.RWMutex
+
+	// Job-level SLO defaults (SetJobSLO): the priority class and absolute
+	// deadline applied to spawns that carry no WithPriority/WithDeadline
+	// option of their own. Set between runs only (the serving layer tags
+	// each job before Run); read concurrently by spawning workers.
+	jobPrio     int8
+	jobDeadline int64
 
 	// setupErr records the first invalid pre-Run operation (e.g. a
 	// non-positive allocation size); Run reports it instead of running.
@@ -289,12 +298,27 @@ func NewRuntime(c Config) (*Runtime, error) {
 		}
 		return rt, err
 	}
-	rt := &Runtime{cfg: mc}
+	rt := &Runtime{cfg: mc, pub: c, pol: pol}
+	if err := rt.initSim(); err != nil {
+		return nil, err
+	}
+	if captureHook != nil {
+		captureHook(rt)
+	}
+	return rt, nil
+}
+
+// initSim builds (or, through Reset, rebuilds) the simulator engine
+// stack from the stored configuration. The simulated pieces are cheap
+// relative to a run, so warm reuse simply reconstructs them; only the
+// recycled task descriptors survive across resets.
+func (rt *Runtime) initSim() error {
+	c, mc := rt.pub, rt.cfg
 	rt.eng = sim.New(mc.Processors, mc.Quantum, mc.Seed)
 	rt.space = memsim.New(mc)
 	rt.mon = perfmon.New(mc.Processors)
 	rt.caches = cache.New(mc, rt.space, rt.mon)
-	rt.sched = core.NewScheduler(mc, pol, rt.eng, rt.space, rt.mon)
+	rt.sched = core.NewScheduler(mc, rt.pol, rt.eng, rt.space, rt.mon)
 	if c.TraceCapacity > 0 {
 		rt.enableTracing(c.TraceCapacity)
 	}
@@ -308,19 +332,16 @@ func NewRuntime(c Config) (*Runtime, error) {
 	if c.Retry != nil {
 		pol, err := c.Retry.withDefaults()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rt.installRetry(pol)
 	}
 	if c.Faults != nil {
 		if err := rt.applyFaults(c.Faults); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	if captureHook != nil {
-		captureHook(rt)
-	}
-	return rt, nil
+	return nil
 }
 
 // captureHook, when set, observes every Runtime NewRuntime constructs.
@@ -418,7 +439,7 @@ func newNativeRuntime(c Config, mc machine.Config, pol core.Policy) (*Runtime, e
 	if c.MaxProcessors > np {
 		np = c.MaxProcessors // bounds validated by native.New
 	}
-	rt := &Runtime{cfg: mc, backend: BackendNative}
+	rt := &Runtime{cfg: mc, pub: c, pol: pol, backend: BackendNative}
 	rt.space = memsim.New(mc)
 	rt.mon = perfmon.New(np)
 	nat, err := native.New(native.Config{

@@ -79,8 +79,9 @@ func (c *Ctx) Access(addr, size int64, write bool) {
 type spawnOptions struct {
 	aff      core.Affinity
 	mutex    *Monitor
-	prio     int8  // priority class [0,7] (WithPriority)
-	deadline int64 // absolute deadline (WithDeadline), 0 = none
+	prio     int8       // priority class [0,7] (WithPriority)
+	prioSet  bool       // an explicit WithPriority beats the job default
+	deadline int64      // absolute deadline (WithDeadline), 0 = none
 	objs     []sizedObj // OBJECT affinity operands (one or several)
 	objsBuf  [2]sizedObj
 }
@@ -161,6 +162,7 @@ func (op SpawnOpt) apply(o *spawnOptions) {
 			p = 7
 		}
 		o.prio = int8(p)
+		o.prioSet = true
 	case optWithDeadline:
 		o.deadline = op.addr
 	}
@@ -242,6 +244,7 @@ func (c *Ctx) Spawn(name string, fn func(*Ctx), opts ...SpawnOpt) {
 	}
 	p := c.ProcID()
 	rt := c.rt
+	rt.applyJobSLO(&o)
 	rt.mon.Per[p].Spawns++
 	c.sc.Charge(rt.cfg.Lat.Spawn)
 
@@ -360,6 +363,7 @@ func (c *Ctx) spawnNNative(name string, n int, fn func(*Ctx, int), opts func(i i
 		if len(o.objs) > 1 {
 			o.aff.ObjectObj = o.objs[pickHome(rt, o.objs)].addr
 		}
+		rt.applyJobSLO(&o)
 		var nm *native.Monitor
 		if o.mutex != nil {
 			nm = &o.mutex.nm
@@ -382,6 +386,7 @@ func (c *Ctx) spawnNative(name string, fn func(*Ctx), opts []SpawnOpt) {
 	if len(o.objs) > 1 {
 		o.aff.ObjectObj = o.objs[pickHome(rt, o.objs)].addr
 	}
+	rt.applyJobSLO(&o)
 	var nm *native.Monitor
 	if o.mutex != nil {
 		nm = &o.mutex.nm

@@ -397,6 +397,18 @@ func RunWith(cfg cool.Config, v Variant, prm Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return RunOn(rt, v, prm)
+}
+
+// RunOn runs the simulation steps on an existing runtime that has not
+// run yet (fresh from NewRuntime or Reset) — the serving layer's
+// warm-reuse entry point. Base's IgnoreHints knob cannot be applied to
+// an already-built runtime; its bodies stay undistributed either way.
+func RunOn(rt *cool.Runtime, v Variant, prm Params) (Result, error) {
+	prm, err := prm.normalize()
+	if err != nil {
+		return Result{}, err
+	}
 	ap := build(rt, prm, v == AffDistr)
 	err = rt.Run(func(ctx *cool.Ctx) {
 		for s := 0; s < prm.Steps; s++ {

@@ -1,0 +1,145 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	cool "github.com/coolrts/cool"
+)
+
+func TestCatalogCoversEveryApp(t *testing.T) {
+	names := CatalogNames()
+	if len(names) != len(Names()) {
+		t.Fatalf("catalog has %d entries, registry has %d apps", len(names), len(Names()))
+	}
+	for _, name := range names {
+		e, ok := CatalogLookup(name)
+		if !ok {
+			t.Fatalf("CatalogNames listed %q but CatalogLookup missed it", name)
+		}
+		app, ok := Lookup(e.App)
+		if !ok {
+			t.Fatalf("catalog entry %q names unregistered app %q", name, e.App)
+		}
+		found := false
+		for _, v := range app.Variants {
+			if v == e.Variant {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("catalog entry %q names unknown variant %q (have %v)", name, e.Variant, app.Variants)
+		}
+		for _, preset := range []string{"small", "medium", "large"} {
+			if _, err := CatalogSize(name, preset); err != nil {
+				t.Fatalf("catalog entry %q: %v", name, err)
+			}
+		}
+	}
+	if _, err := CatalogSize("pancho", "jumbo"); err == nil || !strings.Contains(err.Error(), "preset") {
+		t.Fatalf("bogus preset accepted (err=%v)", err)
+	}
+	if _, err := CatalogSize("nonesuch", ""); err == nil {
+		t.Fatal("bogus app accepted")
+	}
+}
+
+// TestCatalogRunsWarmOnBothBackends is the serving layer's core
+// contract: every catalog job runs on a warm runtime — fresh, then
+// again after Reset — and the second run verifies identically.
+func TestCatalogRunsWarmOnBothBackends(t *testing.T) {
+	for _, backend := range []cool.Backend{cool.BackendSim, cool.BackendNative} {
+		for _, name := range CatalogNames() {
+			rt, err := cool.NewRuntime(cool.Config{Processors: 4, Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := RunCatalogOn(rt, name, "small")
+			if err != nil {
+				t.Fatalf("%v/%s cold: %v", backend, name, err)
+			}
+			if first.Report.Total.TasksRun == 0 || first.Verify == "" {
+				t.Fatalf("%v/%s cold result %+v", backend, name, first)
+			}
+			if err := rt.Reset(); err != nil {
+				t.Fatalf("%v/%s Reset: %v", backend, name, err)
+			}
+			second, err := RunCatalogOn(rt, name, "small")
+			if err != nil {
+				t.Fatalf("%v/%s warm: %v", backend, name, err)
+			}
+			if second.Verify != first.Verify {
+				t.Fatalf("%v/%s warm verify %q differs from cold %q", backend, name, second.Verify, first.Verify)
+			}
+		}
+	}
+}
+
+// TestCatalogPreparedMatchesFresh is the residency fast path's
+// correctness contract: a job replayed from cached analyze-phase state
+// verifies identically to one that ran the analyze phase inline, on
+// both backends, across repeated reuse of the same handle.
+func TestCatalogPreparedMatchesFresh(t *testing.T) {
+	prep, err := PrepareCatalog("pancho", "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep == nil {
+		t.Fatal("pancho advertises no analyze phase")
+	}
+	for _, backend := range []cool.Backend{cool.BackendSim, cool.BackendNative} {
+		rt, err := cool.NewRuntime(cool.Config{Processors: 4, Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := RunCatalogOn(rt, "pancho", "small")
+		if err != nil {
+			t.Fatalf("%v fresh: %v", backend, err)
+		}
+		for i := 0; i < 2; i++ {
+			if err := rt.Reset(); err != nil {
+				t.Fatalf("%v Reset %d: %v", backend, i, err)
+			}
+			cached, err := RunCatalogPrepared(rt, "pancho", "small", prep)
+			if err != nil {
+				t.Fatalf("%v prepared %d: %v", backend, i, err)
+			}
+			if cached.Verify != fresh.Verify {
+				t.Fatalf("%v prepared run %d verify %q differs from fresh %q", backend, i, cached.Verify, fresh.Verify)
+			}
+		}
+	}
+}
+
+// TestCatalogPreparedRejectsMismatch: a handle built for one size must
+// not silently serve another.
+func TestCatalogPreparedRejectsMismatch(t *testing.T) {
+	prep, err := PrepareCatalog("pancho", "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := cool.NewRuntime(cool.Config{Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCatalogPrepared(rt, "pancho", "medium", prep); err == nil {
+		t.Fatal("medium job accepted a small-size prep handle")
+	}
+	if _, err := RunCatalogPrepared(rt, "pancho", "small", "bogus"); err == nil {
+		t.Fatal("foreign handle type accepted")
+	}
+	// Apps with no analyze phase report a nil handle and still run.
+	gp, err := PrepareCatalog("gauss", "small")
+	if err != nil || gp != nil {
+		t.Fatalf("gauss prep = %v, %v; want nil, nil", gp, err)
+	}
+}
+
+func TestCatalogHasPrepare(t *testing.T) {
+	if !CatalogHasPrepare("pancho") {
+		t.Fatal("pancho lost its analyze phase")
+	}
+	if CatalogHasPrepare("gauss") || CatalogHasPrepare("nonesuch") {
+		t.Fatal("prep advertised where none exists")
+	}
+}

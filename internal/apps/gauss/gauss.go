@@ -183,6 +183,17 @@ func RunWith(cfg cool.Config, v Variant, prm Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return RunOn(rt, v, prm)
+}
+
+// RunOn executes the elimination on an existing runtime that has not
+// run yet (fresh from NewRuntime or Reset) — the serving layer's
+// warm-reuse entry point. Config-level variant knobs (Base's
+// IgnoreHints, Params.Uniform) cannot be applied to an already-built
+// runtime; Base still runs without locality because its spawns carry
+// no affinity options and its columns are not distributed.
+func RunOn(rt *cool.Runtime, v Variant, prm Params) (Result, error) {
+	prm = prm.normalize()
 	ap := build(rt, prm, v != Base)
 	if err := rt.Run(func(ctx *cool.Ctx) { ap.run(ctx, v) }); err != nil {
 		return Result{}, fmt.Errorf("gauss %v: %w", v, err)

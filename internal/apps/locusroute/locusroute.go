@@ -256,7 +256,6 @@ func RunWith(cfg cool.Config, v Variant, prm Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	procs := cfg.Processors
 	if v == Base {
 		cfg.Sched.IgnoreHints = true
 	}
@@ -264,6 +263,20 @@ func RunWith(cfg cool.Config, v Variant, prm Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return RunOn(rt, v, prm)
+}
+
+// RunOn routes the workload on an existing runtime that has not run
+// yet (fresh from NewRuntime or Reset) — the serving layer's
+// warm-reuse entry point. Base's IgnoreHints knob cannot be applied to
+// an already-built runtime; its spawns carry no affinity options
+// either way.
+func RunOn(rt *cool.Runtime, v Variant, prm Params) (Result, error) {
+	prm, err := prm.normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	procs := rt.Processors()
 	ap := build(rt, prm, v == AffinityDistr)
 	err = rt.Run(func(ctx *cool.Ctx) {
 		for it := 0; it < prm.Iterations; it++ {

@@ -231,6 +231,19 @@ func RunWith(cfg cool.Config, v Variant, prm Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return RunOn(rt, v, prm)
+}
+
+// RunOn executes the solver on an existing runtime that has not run yet
+// (fresh from NewRuntime or Reset) — the serving layer's warm-reuse
+// entry point. The IgnoreHints knob the non-affine variants would set
+// at config time cannot be applied to an already-built runtime, so
+// their hints are honoured here; DistrAff is unaffected.
+func RunOn(rt *cool.Runtime, v Variant, prm Params) (Result, error) {
+	prm, err := prm.normalize()
+	if err != nil {
+		return Result{}, err
+	}
 	ap := build(rt, prm, v != Base)
 	if err := rt.Run(ap.run); err != nil {
 		return Result{}, fmt.Errorf("ocean %v: %w", v, err)

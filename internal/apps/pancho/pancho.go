@@ -99,19 +99,60 @@ type app struct {
 	mons      []*cool.Monitor
 }
 
-// build prepares the matrix, panel partition and simulated-memory layout.
-func build(rt *cool.Runtime, prm Params, distribute bool) (*app, *sparse.Sym) {
+// Prep is the reusable analyze-phase output for one workload: the
+// assembled matrix, its symbolic factorization and panel partition, the
+// update DAG, and the serial reference factor the run verifies against.
+// All of it is a pure function of Params and is read-only during a run
+// (the per-run update countdown is copied out), so one Prep can back
+// any number of factorizations — the split real sparse solvers make
+// between analyze and factorize. A serving layer that keeps a space's
+// Prep resident turns routing affinity into avoided work.
+type Prep struct {
+	prm  Params
+	a    *sparse.Sym
+	ps   *sparse.PanelSet
+	dsts [][]int32
+	nupd []int32
+	ref  *sparse.Factor
+}
+
+// Params reports the (normalized) workload this Prep was built for.
+func (p *Prep) Params() Params { return p.prm }
+
+// Prepare runs the analyze phase: everything a factorization needs that
+// depends only on the workload parameters, not on the runtime.
+func Prepare(prm Params) (*Prep, error) {
 	prm = prm.normalize()
 	a := sparse.GridLaplacianND(prm.Grid)
 	symb := sparse.Analyze(a)
 	ps := sparse.BuildPanelSet(symb, prm.MaxPanel, prm.RelaxFill)
 	dsts, nupd := ps.Deps()
+	ref, err := sparse.Cholesky(a, ps.S)
+	if err != nil {
+		return nil, fmt.Errorf("pancho prepare: %w", err)
+	}
+	return &Prep{prm: prm, a: a, ps: ps, dsts: dsts, nupd: nupd, ref: ref}, nil
+}
 
+// build prepares the matrix, panel partition and simulated-memory layout.
+func build(rt *cool.Runtime, prm Params, distribute bool) (*app, *sparse.Sym) {
+	prep, err := Prepare(prm)
+	if err != nil {
+		panic(err) // Cholesky of the grid Laplacian cannot fail: it is SPD
+	}
+	return buildPrep(rt, prep, distribute), prep.a
+}
+
+// buildPrep lays a prepared workload out in the runtime's memory. The
+// Prep is shared and stays read-only: only the update countdown is
+// copied per run.
+func buildPrep(rt *cool.Runtime, prep *Prep, distribute bool) *app {
+	ps := prep.ps
 	ap := &app{
 		rt:        rt,
 		ps:        ps,
-		dsts:      dsts,
-		remaining: nupd,
+		dsts:      prep.dsts,
+		remaining: append([]int32(nil), prep.nupd...),
 		arrs:      make([]*cool.F64, len(ps.Panels)),
 		mons:      make([]*cool.Monitor, len(ps.Panels)),
 	}
@@ -126,6 +167,7 @@ func build(rt *cool.Runtime, prm Params, distribute bool) (*app, *sparse.Sym) {
 		ap.mons[p.ID] = rt.NewMonitor(arr.Base)
 	}
 	// Scatter A's values onto the stored structure (setup, uncharged).
+	a := prep.a
 	for j := 0; j < a.N; j++ {
 		arows, avals := a.Col(j)
 		pid := int(ps.Owner[j])
@@ -139,7 +181,7 @@ func build(rt *cool.Runtime, prm Params, distribute bool) (*app, *sparse.Sym) {
 			ap.arrs[pid].Data[off+pos] = avals[q]
 		}
 	}
-	return ap, a
+	return ap
 }
 
 // colOff returns the offset of column j within its panel's value array.
@@ -294,8 +336,43 @@ func RunConfig(cfg cool.Config, distribute bool, prm Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ap, a := build(rt, prm, distribute)
-	err = rt.Run(func(ctx *cool.Ctx) {
+	return runBuilt(rt, distribute, prm)
+}
+
+// RunOn factors the workload on an existing runtime that has not run
+// yet (fresh from NewRuntime or Reset) — the serving layer's
+// warm-reuse entry point. The config-level variant knobs (IgnoreHints
+// for Base/Distr, ClusterStealingOnly for DistrAffCluster) cannot be
+// applied to an already-built runtime; panel distribution and the
+// affinity hints still follow the variant.
+func RunOn(rt *cool.Runtime, v Variant, prm Params) (Result, error) {
+	return runBuilt(rt, v != Base, prm)
+}
+
+func runBuilt(rt *cool.Runtime, distribute bool, prm Params) (Result, error) {
+	prep, err := Prepare(prm)
+	if err != nil {
+		return Result{}, err
+	}
+	return runPrepared(rt, distribute, prep)
+}
+
+// RunOnPrep factors like RunOn but reuses prep's analyze phase — the
+// serving layer's resident-space fast path. prm must match the
+// parameters prep was built for.
+func RunOnPrep(rt *cool.Runtime, v Variant, prm Params, prep *Prep) (Result, error) {
+	if prep == nil {
+		return RunOn(rt, v, prm)
+	}
+	if prep.prm != prm.normalize() {
+		return Result{}, fmt.Errorf("pancho: prep built for %+v, job wants %+v", prep.prm, prm.normalize())
+	}
+	return runPrepared(rt, v != Base, prep)
+}
+
+func runPrepared(rt *cool.Runtime, distribute bool, prep *Prep) (Result, error) {
+	ap := buildPrep(rt, prep, distribute)
+	err := rt.Run(func(ctx *cool.Ctx) {
 		ctx.WaitFor(func() {
 			for _, p := range ap.ps.Panels {
 				if ap.remaining[p.ID] == 0 {
@@ -307,7 +384,7 @@ func RunConfig(cfg cool.Config, distribute bool, prm Params) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("pancho custom: %w", err)
 	}
-	return ap.finish(a, rt)
+	return ap.finish(prep.a, rt, prep.ref)
 }
 
 // RunSerial factors the same workload in a single task on one processor:
@@ -329,12 +406,13 @@ func RunSerial(prm Params) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("pancho serial: %w", err)
 	}
-	return ap.finish(a, rt)
+	return ap.finish(a, rt, nil)
 }
 
-// finish extracts the factor's true entries, verifies them against the
-// serial reference, and checks that padded slots stayed (exactly) zero.
-func (ap *app) finish(a *sparse.Sym, rt *cool.Runtime) (Result, error) {
+// finish extracts the factor's true entries and verifies them against
+// the serial reference — ref when the caller prepared one, computed
+// fresh otherwise.
+func (ap *app) finish(a *sparse.Sym, rt *cool.Runtime, ref *sparse.Factor) (Result, error) {
 	ps := ap.ps
 	symb := ps.S
 	f := &sparse.Factor{S: symb, Val: make([]float64, symb.LNNZ())}
@@ -358,9 +436,12 @@ func (ap *app) finish(a *sparse.Sym, rt *cool.Runtime) (Result, error) {
 		Panels:   len(ps.Panels),
 		Tasks:    rt.Report().Total.TasksRun,
 	}
-	ref, err := sparse.Cholesky(a, symb)
-	if err != nil {
-		return res, err
+	if ref == nil {
+		var err error
+		ref, err = sparse.Cholesky(a, symb)
+		if err != nil {
+			return res, err
+		}
 	}
 	res.MaxDiff = sparse.MaxDiff(ref, f)
 	if res.Residual > 1e-9 {

@@ -36,6 +36,22 @@ type App struct {
 	// selects the execution backend. cfg.Processors selects the machine
 	// size; the variant's scheduling knobs are applied on top.
 	RunCfg func(cfg cool.Config, variant string, size int) (Result, error)
+	// RunOn executes the app on an existing runtime that has not run
+	// yet — fresh from NewRuntime or Runtime.Reset. This is the serving
+	// layer's warm-reuse entry point: coolserve keeps runtimes hot and
+	// replays jobs through here instead of rebuilding per job.
+	// Config-level variant knobs (IgnoreHints, cluster-stealing) cannot
+	// be applied to an already-built runtime and are skipped.
+	RunOn func(rt *cool.Runtime, variant string, size int) (Result, error)
+	// Prepare runs the app's analyze phase — reusable workload state
+	// that depends only on the size, not on any runtime (pancho's
+	// symbolic factorization, panel partition, and reference factor).
+	// Nil when the app has no separable analyze phase. The handle is
+	// read-only across runs and safe to reuse on any backend.
+	Prepare func(size int) (any, error)
+	// RunOnPrepared is RunOn reusing a handle Prepare built for the
+	// same size. Nil exactly when Prepare is nil.
+	RunOnPrepared func(rt *cool.Runtime, variant string, size int, prep any) (Result, error)
 	// RunSerial executes the single-task serial reference.
 	RunSerial func(size int) (Result, error)
 }
@@ -50,9 +66,13 @@ type appSpec[V fmt.Stringer, P, R any] struct {
 	variants  []V
 	params    func(size int) P
 	runWith   func(cfg cool.Config, v V, p P) (R, error)
+	runOn     func(rt *cool.Runtime, v V, p P) (R, error)
 	runSerial func(p P) (R, error)
 	result    func(R) Result // parallel runs
 	serial    func(R) Result // serial reference (often fewer Verify tokens)
+	// Optional analyze-phase split; both set or both nil.
+	prepare   func(p P) (any, error)
+	runOnPrep func(rt *cool.Runtime, v V, p P, prep any) (R, error)
 }
 
 // newApp builds the registry entry from a spec.
@@ -72,13 +92,24 @@ func newApp[V fmt.Stringer, P, R any](s appSpec[V, P, R]) App {
 		}
 		return s.result(r), nil
 	}
-	return App{
+	app := App{
 		Name:     s.name,
 		Variants: names,
 		Run: func(procs int, variant string, size int) (Result, error) {
 			return runCfg(cool.Config{Processors: procs}, variant, size)
 		},
 		RunCfg: runCfg,
+		RunOn: func(rt *cool.Runtime, variant string, size int) (Result, error) {
+			i, err := variantIndex(s.name, names, variant)
+			if err != nil {
+				return Result{}, err
+			}
+			r, err := s.runOn(rt, s.variants[i], s.params(size))
+			if err != nil {
+				return Result{}, err
+			}
+			return s.result(r), nil
+		},
 		RunSerial: func(size int) (Result, error) {
 			r, err := s.runSerial(s.params(size))
 			if err != nil {
@@ -87,6 +118,23 @@ func newApp[V fmt.Stringer, P, R any](s appSpec[V, P, R]) App {
 			return s.serial(r), nil
 		},
 	}
+	if s.prepare != nil {
+		app.Prepare = func(size int) (any, error) {
+			return s.prepare(s.params(size))
+		}
+		app.RunOnPrepared = func(rt *cool.Runtime, variant string, size int, prep any) (Result, error) {
+			i, err := variantIndex(s.name, names, variant)
+			if err != nil {
+				return Result{}, err
+			}
+			r, err := s.runOnPrep(rt, s.variants[i], s.params(size), prep)
+			if err != nil {
+				return Result{}, err
+			}
+			return s.result(r), nil
+		}
+	}
+	return app
 }
 
 var registry = []App{panchoApp(), oceanApp(), locusApp(), blockchoApp(), barneshutApp(), gaussApp()}
@@ -132,7 +180,18 @@ func panchoApp() App {
 			return p
 		},
 		runWith:   pancho.RunWith,
+		runOn:     pancho.RunOn,
 		runSerial: pancho.RunSerial,
+		prepare: func(p pancho.Params) (any, error) {
+			return pancho.Prepare(p)
+		},
+		runOnPrep: func(rt *cool.Runtime, v pancho.Variant, p pancho.Params, prep any) (pancho.Result, error) {
+			pp, ok := prep.(*pancho.Prep)
+			if !ok {
+				return pancho.Result{}, fmt.Errorf("pancho: prepared handle has type %T, want *pancho.Prep", prep)
+			}
+			return pancho.RunOnPrep(rt, v, p, pp)
+		},
 		result: func(r pancho.Result) Result {
 			return Result{r.Cycles, r.Report,
 				fmt.Sprintf("residual=%.2e maxdiff=%.2e panels=%d", r.Residual, r.MaxDiff, r.Panels)}
@@ -158,6 +217,7 @@ func oceanApp() App {
 			return p
 		},
 		runWith:   ocean.RunWith,
+		runOn:     ocean.RunOn,
 		runSerial: ocean.RunSerial,
 		result:    verify,
 		serial:    verify,
@@ -176,6 +236,7 @@ func locusApp() App {
 			return p
 		},
 		runWith:   locusroute.RunWith,
+		runOn:     locusroute.RunOn,
 		runSerial: locusroute.RunSerial,
 		result: func(r locusroute.Result) Result {
 			return Result{r.Cycles, r.Report,
@@ -200,6 +261,7 @@ func blockchoApp() App {
 			return p
 		},
 		runWith:   blockcho.RunWith,
+		runOn:     blockcho.RunOn,
 		runSerial: blockcho.RunSerial,
 		result: func(r blockcho.Result) Result {
 			return Result{r.Cycles, r.Report,
@@ -226,6 +288,7 @@ func barneshutApp() App {
 			return p
 		},
 		runWith:   barneshut.RunWith,
+		runOn:     barneshut.RunOn,
 		runSerial: barneshut.RunSerial,
 		result:    verify,
 		serial:    verify,
@@ -247,6 +310,7 @@ func gaussApp() App {
 			return p
 		},
 		runWith:   gauss.RunWith,
+		runOn:     gauss.RunOn,
 		runSerial: gauss.RunSerial,
 		result:    verify,
 		serial:    verify,

@@ -57,6 +57,25 @@ func New(cfg machine.Config) *Space {
 	return s
 }
 
+// Reset rewinds the space to its post-New state: every arena's bump
+// pointer returns to its first usable page and all recorded page homes
+// are forgotten. Addresses handed out before the reset become invalid
+// (they will be re-issued to later allocations), so a reset is only
+// legal between program runs — the warm-runtime reuse path. The page
+// tables keep their capacity so a reused space re-allocates without
+// regrowing them.
+func (s *Space) Reset() {
+	for c := range s.next {
+		s.next[c] = int64(c+1)<<arenaShift + s.pageSize
+	}
+	for c, t := range s.pageProc {
+		for i := range t {
+			t[i] = -1
+		}
+		s.pageProc[c] = t
+	}
+}
+
 // Clusters returns the number of memory modules (clusters).
 func (s *Space) Clusters() int { return s.clusters }
 

@@ -70,23 +70,25 @@ func (rt *Runtime) startWorkerLocked(w *worker) {
 	}()
 }
 
-// workerExited is the tail of every worker goroutine.
+// workerExited is the tail of every worker goroutine. Everything it
+// does happens inside the poolMu critical section: once Run observes
+// allExited and returns, the only thing any worker goroutine has left
+// to touch is the mutex itself, so a subsequent Reset (which also
+// takes poolMu) cannot race with a worker's last breath.
 func (rt *Runtime) workerExited(w *worker) {
 	rt.poolMu.Lock()
 	w.exited.Store(true)
 	rt.poolExited++
 	allDone := rt.poolExited == rt.poolStarted
-	joining := rt.joining
-	if allDone && joining {
+	if allDone && rt.joining {
 		close(rt.allExited)
-	}
-	rt.poolMu.Unlock()
-	if allDone && !joining {
+	} else if allDone {
 		// Every started worker retired with the run still outstanding
 		// (validation should prevent this); let Run return rather than
 		// hang on a done that can no longer close.
 		rt.idleOnce.Do(func() { close(rt.idleExit) })
 	}
+	rt.poolMu.Unlock()
 }
 
 // AddWorkers grows the pool by n workers mid-run, resurrecting the

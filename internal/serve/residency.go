@@ -1,0 +1,92 @@
+package serve
+
+import "sync/atomic"
+
+// Residency is one pool entry's prepared-state cache: the analyze-phase
+// handles (apps.PrepareCatalog) of the spaces this runtime served most
+// recently. It is the serving layer's version of the paper's cache
+// affinity — a space's prepared state is resident on the runtime that
+// last served it, so routing a job home turns into avoided work, while
+// a job landing anywhere else repeats the analyze phase.
+//
+// Residency is deliberately scarce (small LRU capacity): if every
+// runtime could hold every space, placement would not matter. Entries
+// are keyed per space, never shared across spaces even when two
+// tenants' workloads would coincide — a tenant's space is private, and
+// the serving layer does not assume its contents from its shape.
+//
+// Residency is owned by a single pool-entry goroutine; no locking. The
+// hit/miss counters are atomics only so stats snapshots can read them
+// from other goroutines.
+type Residency struct {
+	cap    int
+	items  map[string]any
+	order  []string // LRU: oldest first
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newResidency(capacity int) *Residency {
+	return &Residency{cap: capacity, items: make(map[string]any)}
+}
+
+// residencyKey identifies one space's prepared state. The size preset
+// is normalized ("" means "small") so the two spellings share state.
+func residencyKey(j *Job) string {
+	size := j.Req.Size
+	if size == "" {
+		size = "small"
+	}
+	return j.Req.Key + "\x00" + j.Req.App + "\x00" + size
+}
+
+// Lookup finds the prepared state for a job's space and counts the
+// probe as a hit or miss. Keyless jobs have no space to be resident.
+func (r *Residency) Lookup(j *Job) (any, bool) {
+	if r.cap <= 0 || j.Req.Key == "" {
+		return nil, false
+	}
+	k := residencyKey(j)
+	prep, ok := r.items[k]
+	if ok {
+		r.hits.Add(1)
+		r.touch(k)
+		return prep, true
+	}
+	r.misses.Add(1)
+	return nil, false
+}
+
+// Store makes a space's prepared state resident, evicting the least
+// recently served space when the cache is full.
+func (r *Residency) Store(j *Job, prep any) {
+	if r.cap <= 0 || j.Req.Key == "" || prep == nil {
+		return
+	}
+	k := residencyKey(j)
+	if _, ok := r.items[k]; ok {
+		r.items[k] = prep
+		r.touch(k)
+		return
+	}
+	if len(r.items) >= r.cap {
+		oldest := r.order[0]
+		r.order = r.order[1:]
+		delete(r.items, oldest)
+	}
+	r.items[k] = prep
+	r.order = append(r.order, k)
+}
+
+func (r *Residency) touch(k string) {
+	for i, o := range r.order {
+		if o == k {
+			r.order = append(append(r.order[:i:i], r.order[i+1:]...), k)
+			return
+		}
+	}
+}
+
+// Hits and Misses report the probe counters (snapshot-safe).
+func (r *Residency) Hits() int64   { return r.hits.Load() }
+func (r *Residency) Misses() int64 { return r.misses.Load() }

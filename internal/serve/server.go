@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler exposes the service over HTTP/JSON:
+//
+//	POST /jobs        submit  (body: Request)   -> 202 Snapshot
+//	GET  /jobs/{id}   status                    -> 200 Snapshot
+//	GET  /report      pool + admission state    -> 200 Report
+//	POST /drain       stop admissions, drain    -> 200 Report
+//
+// Rejections map to HTTP status codes: admission refusals and full
+// queues are 429 (back off and retry), draining is 503 (this replica
+// is going away), bad submissions are 400.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		job, err := s.Submit(req)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, job.Snapshot())
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case job != nil:
+			// Admitted into the table but refused (rate limit, overload,
+			// full queue): the snapshot carries the reason.
+			writeJSON(w, http.StatusTooManyRequests, job.Snapshot())
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Snapshot())
+	})
+
+	mux.HandleFunc("GET /report", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Report())
+	})
+
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
+		s.Drain()
+		writeJSON(w, http.StatusOK, s.Report())
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestHTTPServeLifecycle(t *testing.T) {
+	svc, err := NewService(Config{Runtimes: 2, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+	defer svc.Drain()
+
+	post := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, buf.Bytes()
+	}
+
+	// Submit.
+	resp, body := post("/jobs", `{"app":"gauss","size":"small","key":"t1/g","priority":3}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID == "" || snap.App != "gauss" {
+		t.Fatalf("submit snapshot %+v", snap)
+	}
+
+	// Poll status to done.
+	deadline := time.Now().Add(30 * time.Second)
+	for snap.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", snap.State)
+		}
+		r, err := http.Get(ts.URL + "/jobs/" + snap.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("status: %d", r.StatusCode)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		time.Sleep(time.Millisecond)
+	}
+	if snap.Verify == "" || snap.Runtime < 0 {
+		t.Fatalf("done snapshot %+v", snap)
+	}
+
+	// Unknown job is 404; bad body is 400.
+	if r, _ := http.Get(ts.URL + "/jobs/job-999"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: %d", r.StatusCode)
+	}
+	if resp, _ := post("/jobs", "{"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", resp.StatusCode)
+	}
+
+	// Report.
+	r, err := http.Get(ts.URL + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if rep.Router == "" || len(rep.Runtimes) != 2 || rep.Submitted < 1 {
+		t.Fatalf("report %+v", rep)
+	}
+
+	// Drain, then submissions are 503.
+	if resp, _ := post("/drain", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: %d", resp.StatusCode)
+	}
+	if resp, _ := post("/jobs", `{"app":"gauss"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: %d", resp.StatusCode)
+	}
+}

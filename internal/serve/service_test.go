@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	cool "github.com/coolrts/cool"
+)
+
+// checkGoroutines fails the test if the goroutine count does not
+// return to the pre-service baseline — the leak guard the drain path
+// is designed to satisfy.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: baseline %d, now %d\n%s", baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeEndToEnd streams 240 real catalog jobs through 3 warm
+// native runtimes and asserts exactly-once completion, per-job
+// verification, and zero goroutine leaks after drain.
+func TestServeEndToEnd(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	var mu sync.Mutex
+	ran := make(map[string]int) // job ID -> runner invocations
+	runner := func(rt *cool.Runtime, j *Job, res *Residency) (string, error) {
+		mu.Lock()
+		ran[j.ID]++
+		mu.Unlock()
+		return CatalogRunner(rt, j, res)
+	}
+
+	svc, err := NewService(Config{Runtimes: 3, Procs: 4, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 240
+	apps := []string{"gauss", "ocean", "blockcho", "locusroute"}
+	jobs := make([]*Job, 0, n)
+	for i := 0; i < n; i++ {
+		j, err := svc.Submit(Request{
+			App:  apps[i%len(apps)],
+			Size: "small",
+			Key:  fmt.Sprintf("tenant%d", i%6),
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	for i, j := range jobs {
+		if !j.Wait(60 * time.Second) {
+			t.Fatalf("job %d (%s) never finished", i, j.ID)
+		}
+		snap := j.Snapshot()
+		if snap.State != "done" {
+			t.Fatalf("job %d: state %s, err %q", i, snap.State, snap.Error)
+		}
+		if snap.Verify == "" {
+			t.Fatalf("job %d finished without verification evidence", i)
+		}
+		if snap.Runtime < 0 || snap.Runtime >= 3 {
+			t.Fatalf("job %d ran on runtime %d", i, snap.Runtime)
+		}
+	}
+
+	mu.Lock()
+	for id, count := range ran {
+		if count != 1 {
+			t.Fatalf("job %s ran %d times, want exactly once", id, count)
+		}
+	}
+	if len(ran) != n {
+		t.Fatalf("%d distinct jobs ran, want %d", len(ran), n)
+	}
+	mu.Unlock()
+
+	rep := svc.Report()
+	var completed int64
+	used := 0
+	for _, e := range rep.Runtimes {
+		completed += e.Completed
+		if e.Completed > 0 {
+			used++
+		}
+	}
+	if completed != n {
+		t.Fatalf("pool completed %d jobs, want %d", completed, n)
+	}
+	if used < 2 {
+		t.Fatalf("only %d of 3 warm runtimes served jobs", used)
+	}
+	if rep.Submitted != n || rep.Rejected != 0 {
+		t.Fatalf("report submitted=%d rejected=%d, want %d/0", rep.Submitted, rep.Rejected, n)
+	}
+
+	svc.Drain()
+	if _, err := svc.Submit(Request{App: "gauss"}); err != ErrDraining {
+		t.Fatalf("post-drain submit error = %v, want ErrDraining", err)
+	}
+	checkGoroutines(t, baseline)
+}
+
+// TestServeAffinityCrossesReset asserts router stickiness spans warm
+// Resets: the second job with a key lands on the runtime that served
+// the key's first job, even though that runtime was Reset in between.
+func TestServeAffinityCrossesReset(t *testing.T) {
+	svc, err := NewService(Config{Runtimes: 3, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+
+	var home int
+	for i := 0; i < 4; i++ {
+		j, err := svc.Submit(Request{App: "gauss", Size: "small", Key: "sticky"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !j.Wait(30 * time.Second) {
+			t.Fatalf("job %d stuck", i)
+		}
+		snap := j.Snapshot()
+		if snap.State != "done" {
+			t.Fatalf("job %d: %s (%s)", i, snap.State, snap.Error)
+		}
+		if i == 0 {
+			home = snap.Runtime
+		} else if snap.Runtime != home {
+			t.Fatalf("job %d ran on runtime %d, want sticky home %d", i, snap.Runtime, home)
+		}
+	}
+}
+
+// TestServeRejectionIsQueryable asserts an admission-refused job is
+// recorded, terminal, and visible by ID.
+func TestServeRejectionIsQueryable(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	runner := func(rt *cool.Runtime, j *Job, res *Residency) (string, error) {
+		started <- struct{}{}
+		<-release
+		return "ok", nil
+	}
+	admit, err := NewAdmission("reject-overloaded", AdmissionConfig{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(Config{Runtimes: 1, Procs: 2, Runner: runner, Admission: admit})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := svc.Submit(Request{App: "gauss"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // first job is now running: every entry is at the ceiling
+	second, err := svc.Submit(Request{App: "gauss"})
+	if err == nil {
+		t.Fatal("second submit admitted past the depth ceiling")
+	}
+	if second == nil {
+		t.Fatal("rejected submit returned no job record")
+	}
+	if second.State() != JobRejected {
+		t.Fatalf("rejected job state = %v", second.State())
+	}
+	got, ok := svc.Job(second.ID)
+	if !ok || got.Snapshot().State != "rejected" {
+		t.Fatalf("rejected job not queryable (ok=%v)", ok)
+	}
+	select {
+	case <-second.Done():
+	default:
+		t.Fatal("rejected job is not terminal")
+	}
+
+	close(release)
+	if !first.Wait(30 * time.Second) {
+		t.Fatal("first job stuck")
+	}
+	svc.Drain()
+}
+
+// TestServeFailedJobRebuildsRuntime asserts a job whose run fails is
+// reported failed, the entry rebuilds its runtime, and the next job on
+// the same entry succeeds with clean counters.
+func TestServeFailedJobRebuildsRuntime(t *testing.T) {
+	boom := true
+	runner := func(rt *cool.Runtime, j *Job, res *Residency) (string, error) {
+		if boom {
+			boom = false
+			return "", rt.Run(func(c *cool.Ctx) { panic("injected") })
+		}
+		return CatalogRunner(rt, j, res)
+	}
+	svc, err := NewService(Config{Runtimes: 1, Procs: 2, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Drain()
+
+	bad, _ := svc.Submit(Request{App: "gauss", Size: "small"})
+	good, _ := svc.Submit(Request{App: "gauss", Size: "small"})
+	if !bad.Wait(30*time.Second) || !good.Wait(30*time.Second) {
+		t.Fatal("jobs stuck")
+	}
+	if bad.State() != JobFailed {
+		t.Fatalf("panicking job state = %v, want failed", bad.State())
+	}
+	if snap := good.Snapshot(); snap.State != "done" || snap.Verify == "" {
+		t.Fatalf("follow-up job on rebuilt runtime: %+v", snap)
+	}
+	if got := svc.Report().Runtimes[0].Completed; got != 2 {
+		t.Fatalf("entry completed %d jobs, want 2", got)
+	}
+}

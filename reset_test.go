@@ -1,0 +1,213 @@
+package cool_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	cool "github.com/coolrts/cool"
+)
+
+// sumJob spawns one task per chunk summing a freshly allocated array,
+// and returns the expected and computed sums — a minimal but real
+// workload for reuse tests (it allocates, so it exercises the arena
+// rewind, and it spawns with object affinity, so it exercises the set
+// table and placement).
+func sumJob(t *testing.T, rt *cool.Runtime, chunks int) {
+	t.Helper()
+	const per = 512
+	data := rt.NewF64(chunks*per, 0)
+	for i := range data.Data {
+		data.Data[i] = float64(i % 7)
+	}
+	var want, got float64
+	for _, v := range data.Data {
+		want += v
+	}
+	var total atomic.Int64
+	err := rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			ctx.SpawnN("sum", chunks, func(c *cool.Ctx, i int) {
+				var s float64
+				for j := i * per; j < (i+1)*per; j++ {
+					s += c.ReadF64(data, j)
+				}
+				total.Add(int64(s))
+			}, func(i int) []cool.SpawnOpt {
+				return []cool.SpawnOpt{cool.ObjectAffinity(data.Base + int64(i*per*8))}
+			})
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got = float64(total.Load())
+	if got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestResetNativeWarmReuse runs the same job repeatedly on one warm
+// native runtime, asserting each run completes correctly and reports
+// only its own work.
+func TestResetNativeWarmReuse(t *testing.T) {
+	rt, err := cool.NewRuntime(cool.Config{Processors: 4, Backend: cool.BackendNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job := 0; job < 5; job++ {
+		if job > 0 {
+			if err := rt.Reset(); err != nil {
+				t.Fatalf("Reset before job %d: %v", job, err)
+			}
+		}
+		sumJob(t, rt, 16)
+		rep := rt.Report()
+		// 16 spawned tasks + main, regardless of how many jobs ran before.
+		if rep.Total.TasksRun != 17 {
+			t.Fatalf("job %d: TasksRun = %d, want 17 (counters bled across Reset?)", job, rep.Total.TasksRun)
+		}
+		if rep.SetSplits != 0 {
+			t.Fatalf("job %d: SetSplits = %d", job, rep.SetSplits)
+		}
+	}
+}
+
+// TestResetSimDeterministicReuse asserts a warm simulated runtime
+// reproduces a cold run bit-for-bit: same task count, same cycle count.
+func TestResetSimDeterministicReuse(t *testing.T) {
+	rt, err := cool.NewRuntime(cool.Config{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumJob(t, rt, 16)
+	coldCycles := rt.ElapsedCycles()
+	coldTasks := rt.Report().Total.TasksRun
+	if err := rt.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	sumJob(t, rt, 16)
+	if rt.ElapsedCycles() != coldCycles {
+		t.Fatalf("warm run took %d cycles, cold took %d — reuse changed simulated behaviour", rt.ElapsedCycles(), coldCycles)
+	}
+	if rt.Report().Total.TasksRun != coldTasks {
+		t.Fatalf("warm TasksRun = %d, cold %d", rt.Report().Total.TasksRun, coldTasks)
+	}
+}
+
+// TestResetRewindsArena asserts the address space rewinds: the first
+// allocation after Reset reuses the first allocation's address, on both
+// backends.
+func TestResetRewindsArena(t *testing.T) {
+	for _, backend := range []cool.Backend{cool.BackendSim, cool.BackendNative} {
+		rt, err := cool.NewRuntime(cool.Config{Processors: 2, Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := rt.NewF64(128, 0)
+		if err := rt.Run(func(ctx *cool.Ctx) {}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		b := rt.NewF64(128, 0)
+		if a.Base != b.Base {
+			t.Fatalf("%v: post-Reset allocation at %#x, want rewound %#x", backend, b.Base, a.Base)
+		}
+		if err := rt.Run(func(ctx *cool.Ctx) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestResetCounterFidelity runs a first job whose every spawn is shed
+// (an already-expired job-level deadline under an armed shed policy),
+// then asserts the second, clean job on the same warm runtime reports
+// zero sheds, deadline misses, faults, and retries — per-worker rows
+// included. This is the report-fidelity contract runtime reuse must
+// keep: a job's report never bleeds a predecessor's counters.
+func TestResetCounterFidelity(t *testing.T) {
+	rt, err := cool.NewRuntime(cool.Config{
+		Processors: 2,
+		Backend:    cool.BackendNative,
+		Shed:       &cool.ShedPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetJobSLO(0, 1) // every spawn's deadline expired 1ns after start
+	var ran atomic.Int64
+	err = rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			for i := 0; i < 32; i++ {
+				ctx.Spawn("doomed", func(c *cool.Ctx) { ran.Add(1) })
+			}
+		})
+	})
+	if err != nil {
+		t.Fatalf("shed job: %v", err)
+	}
+	first := rt.Report()
+	if first.Total.TasksShed == 0 || first.Total.DeadlineMisses == 0 {
+		t.Fatalf("first job shed nothing (TasksShed=%d DeadlineMisses=%d); SLO wiring broken",
+			first.Total.TasksShed, first.Total.DeadlineMisses)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d doomed tasks ran despite expired deadline", ran.Load())
+	}
+
+	if err := rt.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	sumJob(t, rt, 8)
+	second := rt.Report()
+	if second.Total.TasksShed != 0 || second.Total.DeadlineMisses != 0 ||
+		second.Total.FaultEvents != 0 || second.Total.Retries != 0 {
+		t.Fatalf("second job reports bled counters: TasksShed=%d DeadlineMisses=%d FaultEvents=%d Retries=%d",
+			second.Total.TasksShed, second.Total.DeadlineMisses, second.Total.FaultEvents, second.Total.Retries)
+	}
+	for p, row := range second.Per {
+		if row.TasksShed != 0 || row.DeadlineMisses != 0 {
+			t.Fatalf("worker %d row not fresh after Reset: %+v", p, row)
+		}
+	}
+	if second.Total.TasksRun != 9 { // 8 chunks + main
+		t.Fatalf("second job TasksRun = %d, want 9", second.Total.TasksRun)
+	}
+}
+
+// TestResetRefusedAfterFailedNativeRun asserts a native runtime that
+// stopped on an error refuses warm reuse (the pool must rebuild it).
+func TestResetRefusedAfterFailedNativeRun(t *testing.T) {
+	rt, err := cool.NewRuntime(cool.Config{Processors: 2, Backend: cool.BackendNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(func(ctx *cool.Ctx) { panic("boom") }); err == nil {
+		t.Fatal("panicking run reported success")
+	}
+	if err := rt.Reset(); err == nil {
+		t.Fatal("Reset accepted a runtime whose run failed")
+	}
+}
+
+// TestSetJobSLOPriorityDefault asserts the job default yields to an
+// explicit per-spawn WithPriority.
+func TestSetJobSLOPriorityDefault(t *testing.T) {
+	rt, err := cool.NewRuntime(cool.Config{Processors: 2, Backend: cool.BackendNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetJobSLO(5, 0)
+	// No shedding armed: priorities are inert metadata here; the test
+	// just exercises the default/override path end to end.
+	err = rt.Run(func(ctx *cool.Ctx) {
+		ctx.WaitFor(func() {
+			ctx.Spawn("defaulted", func(c *cool.Ctx) {})
+			ctx.Spawn("explicit", func(c *cool.Ctx) {}, cool.WithPriority(1))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
