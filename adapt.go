@@ -1,0 +1,425 @@
+package cool
+
+// This file is the public surface of the adaptive-affinity controller
+// (internal/adapt): Config.Adapt arms a per-epoch online controller
+// that reads a counter-delta snapshot and adjusts the live scheduling
+// policy — cluster-only stealing, wake fanout, steal backoff, and the
+// shed floor — with hysteresis. On the simulator the epoch driver is a
+// self-rescheduling event at fixed simulated-cycle boundaries, so
+// adaptive runs stay bit-deterministic; on the native backend the
+// timekeeper goroutine drives epochs off wall-clock ticks. Every
+// policy change is recorded as a BLIS-style decision trace queryable
+// via Report.Decisions and rendered by the Chrome trace exporter.
+
+import (
+	"fmt"
+
+	"github.com/coolrts/cool/internal/adapt"
+	"github.com/coolrts/cool/internal/trace"
+)
+
+// DefaultWakeFanout is the targeted-wake width both backends start
+// from; the adaptive controller's fanout knob moves it at run time.
+const DefaultWakeFanout = adapt.DefaultWakeFanout
+
+// Default controller epochs, in each backend's clock.
+const (
+	defaultSimAdaptEpoch      = 50_000    // simulated cycles
+	defaultNativeAdaptEpochNS = 1_000_000 // 1ms: five timekeeper ticks
+)
+
+// AdaptPolicy configures the online policy controller (Config.Adapt).
+// The zero value selects backend defaults for everything.
+type AdaptPolicy struct {
+	// Epoch is the controller interval: simulated cycles on the
+	// simulator (default 50_000), wall-clock nanoseconds on the native
+	// backend (default 1_000_000).
+	Epoch int64
+	// Hysteresis is how many consecutive epochs a signal must persist
+	// before the controller acts (default 2).
+	Hysteresis int
+	// TraceCapacity bounds the decision trace (default 256).
+	TraceCapacity int
+	// StealFailHigh is the FailedSteals/StealTries ratio above which
+	// cross-cluster stealing is judged not to pay (default 0.75).
+	StealFailHigh float64
+	// MinFanout / MaxFanout bound the wake-fanout knob (defaults 2/32).
+	MinFanout, MaxFanout int
+	// Per-knob opt-outs: disable adapting cluster-only stealing, wake
+	// fanout, steal backoff, or the shed floor.
+	NoCluster, NoWake, NoBackoff, NoShed bool
+	// Start, when non-nil, warm-starts the run: the controller and the
+	// live scheduler begin from this previously learned policy vector
+	// instead of the configuration's defaults. Harvest the vector with
+	// Runtime.AdaptState at the end of one run and pass it to the next —
+	// repeated runs of the same workload then skip the cold observation
+	// epochs. A zero WakeFanout means "keep the backend default".
+	Start *AdaptState
+}
+
+// validate rejects nonsensical controller configurations.
+func (p *AdaptPolicy) validate() error {
+	switch {
+	case p.Epoch < 0:
+		return fmt.Errorf("cool: Config.Adapt.Epoch must not be negative")
+	case p.Hysteresis < 0:
+		return fmt.Errorf("cool: Config.Adapt.Hysteresis must not be negative")
+	case p.TraceCapacity < 0:
+		return fmt.Errorf("cool: Config.Adapt.TraceCapacity must not be negative")
+	case p.StealFailHigh < 0 || p.StealFailHigh > 1:
+		return fmt.Errorf("cool: Config.Adapt.StealFailHigh must be in [0,1]")
+	case p.MinFanout < 0 || p.MaxFanout < 0:
+		return fmt.Errorf("cool: Config.Adapt fanout bounds must not be negative")
+	case p.MinFanout > 0 && p.MaxFanout > 0 && p.MinFanout > p.MaxFanout:
+		return fmt.Errorf("cool: Config.Adapt.MinFanout %d exceeds MaxFanout %d", p.MinFanout, p.MaxFanout)
+	}
+	if s := p.Start; s != nil {
+		switch {
+		case s.WakeFanout < 0:
+			return fmt.Errorf("cool: Config.Adapt.Start.WakeFanout must not be negative")
+		case s.BackoffShift < 0 || s.BackoffShift > 3:
+			return fmt.Errorf("cool: Config.Adapt.Start.BackoffShift must be in [0,3]")
+		case s.ShedBias < 0 || s.ShedBias > 3:
+			return fmt.Errorf("cool: Config.Adapt.Start.ShedBias must be in [0,3]")
+		}
+	}
+	return nil
+}
+
+// internal converts the public policy to the controller's, applying
+// the backend's default epoch.
+func (p *AdaptPolicy) internal(defaultEpoch int64) adapt.Policy {
+	ap := adapt.Policy{
+		Epoch:         p.Epoch,
+		Hysteresis:    p.Hysteresis,
+		TraceCap:      p.TraceCapacity,
+		StealFailHigh: p.StealFailHigh,
+		MinFanout:     p.MinFanout,
+		MaxFanout:     p.MaxFanout,
+		NoCluster:     p.NoCluster,
+		NoWake:        p.NoWake,
+		NoBackoff:     p.NoBackoff,
+		NoShed:        p.NoShed,
+	}
+	if p.Start != nil {
+		s := adapt.State(*p.Start)
+		ap.Start = &s
+	}
+	if ap.Epoch <= 0 {
+		ap.Epoch = defaultEpoch
+	}
+	return ap
+}
+
+// CounterSnapshot is one cheap machine-wide counter reading — the
+// controller's input API, exposed for external policy controllers and
+// monitoring. The steal/wake/shed fields are cumulative since the run
+// started; Queued, Parked, and Workers are instantaneous gauges. On
+// the native backend the cumulative fields read a dedicated atomic
+// mirror bumped only at slow-path sites, so sampling is safe (and
+// cheap) while Run executes; on the single-threaded simulator they sum
+// the perfmon rows.
+type CounterSnapshot struct {
+	StealTries     int64
+	FailedSteals   int64
+	StealsLocal    int64
+	StealsRemote   int64
+	SetSteals      int64
+	TargetedWakes  int64
+	BroadcastWakes int64
+	LockContention int64
+	TasksShed      int64
+	DeadlineMisses int64
+	Completed      int64 // tasks executed (or shed) to completion
+
+	// Memory-system attribution (simulator backend only; zero on the
+	// native backend, which has no simulated memory system). The Stolen*
+	// pair counts only references made while running a task most
+	// recently moved by a cross-cluster steal — the locality rule's
+	// signal.
+	Refs         int64
+	RemoteMisses int64 // non-local misses (remote + dirty)
+	StolenRefs   int64
+	StolenMisses int64
+
+	Queued  int64 // tasks queued machine-wide right now
+	Parked  int64 // workers idle-parked right now
+	Workers int64 // alive workers right now
+
+	// Backlog-concentration gauges: clusters holding queued work, out of
+	// how many exist (simulator backend; zero natively).
+	QueuedClusters int64
+	Clusters       int64
+}
+
+// Delta returns s minus prev on the cumulative fields, keeping s's
+// instantaneous gauges — the epoch-delta view the controller consumes.
+func (s CounterSnapshot) Delta(prev CounterSnapshot) CounterSnapshot {
+	return pubSnapshot(intSnapshot(s).Delta(intSnapshot(prev)))
+}
+
+// AdaptState is the live policy vector the controller drives.
+type AdaptState struct {
+	ClusterOnly  bool
+	WakeFanout   int
+	BackoffShift int // steal backoff scaled by 1<<shift (native only)
+	ShedBias     int // shed high-water divided by 1<<bias (native only)
+}
+
+// AdaptAlternative is one counterfactual a decision scored but did not
+// choose.
+type AdaptAlternative struct {
+	Action string
+	Score  float64
+}
+
+// AdaptDecision is one recorded policy change: which knob moved, from
+// what to what, the triggering counter delta, and the top-scored
+// alternatives not taken. Folding a run's decisions over its initial
+// state (ReplayAdaptDecisions) reproduces the final policy exactly.
+type AdaptDecision struct {
+	Seq          int    // ordinal within the trace
+	Epoch        int64  // controller epoch at which it was taken
+	Time         int64  // backend clock (cycles or nanoseconds)
+	Knob         string // "cluster", "fanout", "backoff", "shed"
+	Action       string
+	From, To     int64 // knob value before/after (booleans as 0/1)
+	Reason       string
+	Score        float64
+	Alternatives []AdaptAlternative
+	Delta        CounterSnapshot // the epoch delta that triggered it
+}
+
+// AdaptInitialState returns the policy vector an adaptive run starts
+// from under the given configuration — the seed for
+// ReplayAdaptDecisions. Note that application variants may layer
+// scheduling overrides on top of a base configuration; when replaying
+// a run you observed, prefer Runtime.AdaptInitialState, which reports
+// the controller's actual starting vector.
+func AdaptInitialState(c Config) AdaptState {
+	return AdaptState{
+		ClusterOnly: c.Sched.ClusterStealingOnly,
+		WakeFanout:  DefaultWakeFanout,
+	}
+}
+
+// ReplayAdaptDecisions folds a decision trace over an initial state
+// and returns the final policy vector. For any completed adaptive run
+// whose trace did not overflow TraceCapacity,
+// ReplayAdaptDecisions(AdaptInitialState(cfg), report.Decisions) equals
+// the state Runtime.AdaptState reports — every policy change is
+// reconstructible from the trace.
+func ReplayAdaptDecisions(init AdaptState, ds []AdaptDecision) AdaptState {
+	ids := make([]adapt.Decision, len(ds))
+	for i, d := range ds {
+		ids[i] = adapt.Decision{Knob: d.Knob, To: d.To}
+	}
+	st := adapt.Replay(adapt.State(init), ids)
+	return AdaptState(st)
+}
+
+// CounterSnapshot samples the machine-wide scheduling counters. Safe
+// to call at any time on the native backend (the cumulative fields
+// read atomics); on the simulator call it between events — from the
+// embedding program that means before Run or after it.
+func (rt *Runtime) CounterSnapshot() CounterSnapshot {
+	if rt.backend == BackendNative {
+		return pubSnapshot(rt.nat.CounterSnapshot())
+	}
+	return pubSnapshot(rt.simSnapshot())
+}
+
+// AdaptState returns the controller's current policy vector, or false
+// when Config.Adapt was not set. Call after Run for a settled view.
+func (rt *Runtime) AdaptState() (AdaptState, bool) {
+	if rt.backend == BackendNative {
+		st, ok := rt.nat.AdaptState()
+		return AdaptState(st), ok
+	}
+	if rt.adaptCtl == nil {
+		return AdaptState{}, false
+	}
+	return AdaptState(rt.adaptCtl.State()), true
+}
+
+// AdaptInitialState returns the policy vector the controller actually
+// started from, or false when Config.Adapt was not set. This is the
+// correct seed for ReplayAdaptDecisions even when the runtime's
+// effective policy differs from the base configuration (for example,
+// an application variant forcing cluster-only stealing).
+func (rt *Runtime) AdaptInitialState() (AdaptState, bool) {
+	if rt.backend == BackendNative {
+		st, ok := rt.nat.AdaptInit()
+		return AdaptState(st), ok
+	}
+	if rt.adaptCtl == nil {
+		return AdaptState{}, false
+	}
+	return AdaptState(rt.adaptCtl.Init()), true
+}
+
+// adaptDecisions returns the run's raw decision trace (nil when
+// Config.Adapt was not set).
+func (rt *Runtime) adaptDecisions() []adapt.Decision {
+	if rt.backend == BackendNative {
+		return rt.nat.Decisions()
+	}
+	if rt.adaptCtl == nil {
+		return nil
+	}
+	return rt.adaptCtl.Decisions()
+}
+
+// installAdaptSim arms the controller on the simulator: a
+// self-rescheduling engine event steps it at fixed simulated-cycle
+// boundaries, so an adaptive sim run is exactly as deterministic as a
+// static one. The event stops rescheduling itself once the run has
+// drained. Backoff and shed decisions have no simulator mechanism (no
+// timed parks, no shedding layer); they are recorded in the trace but
+// applied natively only.
+func (rt *Runtime) installAdaptSim(p *AdaptPolicy) {
+	pol := p.internal(defaultSimAdaptEpoch)
+	st0 := adapt.State{
+		ClusterOnly: rt.pol.ClusterStealingOnly,
+		WakeFanout:  rt.sched.WakeFanout(),
+	}
+	if pol.Start != nil {
+		st0 = *pol.Start
+		if st0.WakeFanout <= 0 {
+			st0.WakeFanout = rt.sched.WakeFanout()
+		}
+		rt.sched.SetClusterStealingOnly(st0.ClusterOnly)
+		rt.sched.SetWakeFanout(st0.WakeFanout)
+	}
+	ctl := adapt.New(pol, st0)
+	rt.adaptCtl = ctl
+	seen := 0
+	var step func()
+	step = func() {
+		if rt.eng.LiveTasks() == 0 {
+			return
+		}
+		now := rt.eng.Now()
+		st, changed := ctl.Epoch(now, rt.simSnapshot())
+		if changed {
+			rt.sched.SetClusterStealingOnly(st.ClusterOnly)
+			rt.sched.SetWakeFanout(st.WakeFanout)
+			for n := ctl.Count(); seen < n; seen++ {
+				d := ctl.DecisionAt(seen)
+				rt.sched.Trace.Add(now, -1, trace.KindAdapt, d.Knob+" "+d.Action, d.To)
+			}
+		}
+		rt.eng.At(now+pol.Epoch, step)
+	}
+	rt.eng.At(pol.Epoch, step)
+}
+
+// simSnapshot sums the simulator's perfmon rows into one controller
+// snapshot. Single-threaded like everything in the sim stack.
+func (rt *Runtime) simSnapshot() adapt.Snapshot {
+	var s adapt.Snapshot
+	for i := range rt.mon.Per {
+		p := &rt.mon.Per[i]
+		s.StealTries += p.StealTries
+		s.FailedSteals += p.FailedSteals
+		s.StealsLocal += p.StealsLocal
+		s.StealsRemote += p.StealsRemote
+		s.SetSteals += p.SetSteals
+		s.TargetedWakes += p.TargetedWakes
+		s.BroadcastWakes += p.BroadcastWakes
+		s.LockContention += p.LockContention
+		s.TasksShed += p.TasksShed
+		s.DeadlineMisses += p.DeadlineMisses
+		s.Completed += p.TasksRun
+		s.Refs += p.Refs
+		s.RemoteMisses += p.RemoteMisses + p.DirtyMisses
+		s.StolenRefs += p.StolenRefs
+		s.StolenMisses += p.StolenMisses
+	}
+	s.Queued = int64(rt.sched.QueuedTasks())
+	s.Parked = int64(rt.eng.ParkedCount())
+	s.Workers = int64(rt.cfg.Processors)
+	s.QueuedClusters = int64(rt.sched.QueuedClusters())
+	s.Clusters = int64(rt.cfg.Clusters())
+	return s
+}
+
+// pubSnapshot / intSnapshot convert between the public and internal
+// snapshot types (identical field sets).
+func pubSnapshot(s adapt.Snapshot) CounterSnapshot {
+	return CounterSnapshot{
+		StealTries:     s.StealTries,
+		FailedSteals:   s.FailedSteals,
+		StealsLocal:    s.StealsLocal,
+		StealsRemote:   s.StealsRemote,
+		SetSteals:      s.SetSteals,
+		TargetedWakes:  s.TargetedWakes,
+		BroadcastWakes: s.BroadcastWakes,
+		LockContention: s.LockContention,
+		TasksShed:      s.TasksShed,
+		DeadlineMisses: s.DeadlineMisses,
+		Completed:      s.Completed,
+		Refs:           s.Refs,
+		RemoteMisses:   s.RemoteMisses,
+		StolenRefs:     s.StolenRefs,
+		StolenMisses:   s.StolenMisses,
+		Queued:         s.Queued,
+		Parked:         s.Parked,
+		Workers:        s.Workers,
+		QueuedClusters: s.QueuedClusters,
+		Clusters:       s.Clusters,
+	}
+}
+
+func intSnapshot(s CounterSnapshot) adapt.Snapshot {
+	return adapt.Snapshot{
+		StealTries:     s.StealTries,
+		FailedSteals:   s.FailedSteals,
+		StealsLocal:    s.StealsLocal,
+		StealsRemote:   s.StealsRemote,
+		SetSteals:      s.SetSteals,
+		TargetedWakes:  s.TargetedWakes,
+		BroadcastWakes: s.BroadcastWakes,
+		LockContention: s.LockContention,
+		TasksShed:      s.TasksShed,
+		DeadlineMisses: s.DeadlineMisses,
+		Completed:      s.Completed,
+		Refs:           s.Refs,
+		RemoteMisses:   s.RemoteMisses,
+		StolenRefs:     s.StolenRefs,
+		StolenMisses:   s.StolenMisses,
+		Queued:         s.Queued,
+		Parked:         s.Parked,
+		Workers:        s.Workers,
+		QueuedClusters: s.QueuedClusters,
+		Clusters:       s.Clusters,
+	}
+}
+
+// pubDecisions converts a raw decision trace to the public form.
+func pubDecisions(ds []adapt.Decision) []AdaptDecision {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]AdaptDecision, len(ds))
+	for i, d := range ds {
+		alts := make([]AdaptAlternative, len(d.Alternatives))
+		for j, a := range d.Alternatives {
+			alts[j] = AdaptAlternative{Action: a.Action, Score: a.Score}
+		}
+		out[i] = AdaptDecision{
+			Seq:          d.Seq,
+			Epoch:        d.Epoch,
+			Time:         d.Time,
+			Knob:         d.Knob,
+			Action:       d.Action,
+			From:         d.From,
+			To:           d.To,
+			Reason:       d.Reason,
+			Score:        d.Score,
+			Alternatives: alts,
+			Delta:        pubSnapshot(d.Delta),
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package cool_test
+
+import (
+	"testing"
+
+	cool "github.com/coolrts/cool"
+)
+
+// TestCounterSnapshotConsistent asserts Runtime.CounterSnapshot — the
+// adaptive controller's cheap counter-read API — reports the same
+// quantities as the full perfmon Report on both backends after a run:
+// the cumulative columns match the summed per-processor rows exactly
+// (on the native backend they come from a separate atomic mirror bumped
+// at the same sites), Completed covers every executed task, and the
+// queue/park gauges read zero on a drained machine.
+func TestCounterSnapshotConsistent(t *testing.T) {
+	const procs, tasks = 4, 300
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			r := runWorkload(t, be.b, procs, tasks)
+			rt := lastRuntime
+			if rt == nil {
+				t.Fatal("capture hook did not observe the runtime")
+			}
+			s := rt.CounterSnapshot()
+			total := r.Total
+
+			cols := []struct {
+				name      string
+				snap, rep int64
+			}{
+				{"StealTries", s.StealTries, total.StealTries},
+				{"FailedSteals", s.FailedSteals, total.FailedSteals},
+				{"StealsLocal", s.StealsLocal, total.StealsLocal},
+				{"StealsRemote", s.StealsRemote, total.StealsRemote},
+				{"SetSteals", s.SetSteals, total.SetSteals},
+				{"TargetedWakes", s.TargetedWakes, total.TargetedWakes},
+				{"BroadcastWakes", s.BroadcastWakes, total.BroadcastWakes},
+				{"LockContention", s.LockContention, total.LockContention},
+				{"TasksShed", s.TasksShed, total.TasksShed},
+				{"DeadlineMisses", s.DeadlineMisses, total.DeadlineMisses},
+			}
+			for _, c := range cols {
+				if c.snap != c.rep {
+					t.Errorf("%s: snapshot %d != report %d", c.name, c.snap, c.rep)
+				}
+			}
+			if s.Completed != total.TasksRun+total.TasksShed {
+				t.Errorf("Completed = %d, want TasksRun+TasksShed = %d",
+					s.Completed, total.TasksRun+total.TasksShed)
+			}
+			if s.Queued != 0 {
+				t.Errorf("Queued = %d after a drained run, want 0", s.Queued)
+			}
+			if s.Workers != int64(procs) {
+				t.Errorf("Workers = %d, want %d", s.Workers, procs)
+			}
+			if s.Parked < 0 || s.Parked > int64(procs) {
+				t.Errorf("Parked = %d outside [0,%d]", s.Parked, procs)
+			}
+
+			// The epoch-delta view: a second reading minus the first must
+			// be all-zero on the cumulative columns of an idle machine.
+			d := rt.CounterSnapshot().Delta(s)
+			if d.StealTries != 0 || d.FailedSteals != 0 || d.Completed != 0 {
+				t.Errorf("idle-machine delta not zero: %+v", d)
+			}
+		})
+	}
+}
+
+// TestAdaptWarmStart asserts AdaptPolicy.Start seeds the controller on
+// both backends: the initial and (with no epochs elapsing) final policy
+// vectors equal the warm state, and the empty decision trace replays to
+// it.
+func TestAdaptWarmStart(t *testing.T) {
+	warm := cool.AdaptState{ClusterOnly: true, WakeFanout: 8}
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			rt, err := cool.NewRuntime(cool.Config{
+				Processors: 4,
+				Backend:    be.b,
+				Adapt:      &cool.AdaptPolicy{Epoch: 1 << 40, Start: &warm},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := rt.NewI64(1, 0)
+			if err := rt.Run(func(ctx *cool.Ctx) {
+				ctx.Spawn("task", func(c *cool.Ctx) { c.AddI64(done, 0, 1) })
+			}); err != nil {
+				t.Fatal(err)
+			}
+			init, ok := rt.AdaptInitialState()
+			if !ok || init != warm {
+				t.Fatalf("AdaptInitialState = %+v, %v; want warm state %+v", init, ok, warm)
+			}
+			st, ok := rt.AdaptState()
+			if !ok || st != warm {
+				t.Fatalf("AdaptState = %+v, %v; want warm state %+v", st, ok, warm)
+			}
+			if got := cool.ReplayAdaptDecisions(init, rt.Report().Decisions); got != st {
+				t.Fatalf("replay = %+v, want %+v", got, st)
+			}
+		})
+	}
+}
+
+// lastRuntime captures the most recent runtime runWorkload constructed,
+// via the package capture hook, so tests can reach non-Report accessors.
+var lastRuntime *cool.Runtime
+
+func TestMain(m *testing.M) {
+	restore := cool.CaptureRuntime(func(rt *cool.Runtime) { lastRuntime = rt })
+	defer restore()
+	m.Run()
+}

@@ -1,0 +1,334 @@
+// The -bench-adapt mode is the adaptive-controller A/B harness: every
+// registered application (most locality-optimised variant) runs three
+// interleaved arms per cell — flat stealing, cluster-only stealing,
+// and the adaptive controller — at P=8/16/32 on the simulator, where
+// cycle counts are deterministic. The adaptive arm warm-starts across
+// repetitions: each rep after the first seeds the controller with the
+// policy the previous rep learned, so the score covers both the cold
+// run (paying the observation epochs) and the steady state a
+// policy-persisting runtime reaches. The JSON it writes records, per
+// cell, the cycles of each arm (adaptive as the mean over reps), the
+// best static arm, the adaptive-vs-best-static ratio, and whether
+// replaying each rep's decision trace over its initial policy
+// reconstructs the controller's final state.
+//
+//	coolbench -bench-adapt -bench-adapt-json BENCH_ADAPT.json
+//	coolbench -bench-adapt -bench-adapt-json out.json -bench-adapt-small
+//	coolbench -bench-adapt -bench-adapt-check BENCH_ADAPT.json
+//
+// The check mode reruns the baseline's configuration and fails when
+// any cell's adaptive run is slower than 0.95x the best static arm,
+// when fewer than two phase-shifting cells reach 1.1x, when any
+// decision trace fails to replay, or when the summed wall-clock
+// regresses more than 20% against the baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	cool "github.com/coolrts/cool"
+	"github.com/coolrts/cool/internal/apps"
+)
+
+// adaptBenchEpoch is the controller epoch used by every adaptive arm:
+// short enough that each phaseflip phase spans several epochs even at
+// the smoke sizes, and that the controller's first evaluation lands
+// before an app's opening steal burst has seeded many wrong-cluster
+// subtrees.
+const adaptBenchEpoch = 10_000
+
+// adaptSmallSizes are the reduced workloads for -bench-adapt-small.
+// phaseflip stays large enough that each phase outlasts the
+// controller's hysteresis, so the smoke job still exercises flips.
+var adaptSmallSizes = map[string]int{
+	"gauss":      64,
+	"ocean":      64,
+	"pancho":     24,
+	"locusroute": 8,
+	"blockcho":   128,
+	"barneshut":  256,
+	"phaseflip":  240,
+}
+
+// adaptEntry is one cell's measurement. The adaptive arm warm-starts:
+// each repetition after the first seeds the controller with the policy
+// vector the previous repetition learned (AdaptPolicy.Start), modeling
+// a runtime that persists policy between runs of the same workload.
+// CyclesAdaptive is the mean over the cold and warm repetitions and
+// Ratio is best-static cycles over that mean, so >1 means the
+// controller beat every static policy and 0.95 is the
+// never-much-worse floor.
+type adaptEntry struct {
+	Name           string  `json:"name"` // app/variant/P<procs>
+	App            string  `json:"app"`
+	Variant        string  `json:"variant"`
+	Procs          int     `json:"procs"`
+	Size           int     `json:"size"` // 0 = app default workload
+	CyclesFlat     int64   `json:"cycles_flat"`
+	CyclesCluster  int64   `json:"cycles_cluster"`
+	CyclesAdaptive int64   `json:"cycles_adaptive"` // mean over reps
+	AdaptiveReps   []int64 `json:"cycles_adaptive_reps"`
+	BestStatic     string  `json:"best_static"` // "flat" or "cluster"
+	Ratio          float64 `json:"ratio"`       // best-static / adaptive
+	Decisions      int     `json:"decisions"`   // summed over reps
+	ReplayOK       bool    `json:"replay_ok"`   // every rep's trace replays
+	PhaseShifting  bool    `json:"phase_shifting"`
+	WallNS         int64   `json:"wall_ns"` // all arms summed, best rep
+}
+
+// adaptDoc is the JSON document written by -bench-adapt-json and read
+// back by -bench-adapt-check.
+type adaptDoc struct {
+	GoVersion string       `json:"go_version"`
+	OSArch    string       `json:"os_arch"`
+	Reps      int          `json:"reps"`
+	Small     bool         `json:"small"`
+	Epoch     int64        `json:"epoch"`
+	Results   []adaptEntry `json:"results"`
+}
+
+// benchAdaptMain is the entry point for the -bench-adapt mode
+// (dispatched from main ahead of the -bench prefix). Returns the
+// process exit code.
+func benchAdaptMain(args []string) int {
+	fs := flag.NewFlagSet("coolbench -bench-adapt", flag.ExitOnError)
+	_ = fs.Bool("bench-adapt", true, "adaptive A/B benchmark mode (this flag)")
+	jsonOut := fs.String("bench-adapt-json", "", "write measurements to this JSON file")
+	check := fs.String("bench-adapt-check", "", "baseline JSON to rerun and gate against")
+	small := fs.Bool("bench-adapt-small", false, "use reduced workload sizes (CI smoke)")
+	reps := fs.Int("bench-adapt-reps", 2, "repetitions per cell (deterministic cycles; best wall wins)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut == "" && *check == "" {
+		fmt.Fprintln(os.Stderr, "coolbench: -bench-adapt-json or -bench-adapt-check required in bench-adapt mode")
+		return 2
+	}
+	if *check != "" {
+		return adaptCheck(*check, *reps)
+	}
+	doc, err := adaptRun(*small, *reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coolbench: %v\n", err)
+		return 1
+	}
+	if msgs := adaptGate(doc); len(msgs) > 0 {
+		for _, m := range msgs {
+			fmt.Fprintf(os.Stderr, "coolbench -bench-adapt: %s\n", m)
+		}
+		return 1
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coolbench: %v\n", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(*jsonOut, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "coolbench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s (%d cells)\n", *jsonOut, len(doc.Results))
+	return 0
+}
+
+// adaptRun measures every cell. The three arms of a rep run
+// back-to-back (interleaved rather than batched per arm), so slow
+// drift of the host machine biases no arm's wall-clock.
+func adaptRun(small bool, reps int) (*adaptDoc, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	doc := &adaptDoc{
+		GoVersion: runtime.Version(),
+		OSArch:    runtime.GOOS + "/" + runtime.GOARCH,
+		Reps:      reps,
+		Small:     small,
+		Epoch:     adaptBenchEpoch,
+	}
+	for _, name := range apps.Names() {
+		app, _ := apps.Lookup(name)
+		variant := app.Variants[len(app.Variants)-1]
+		size := 0
+		if small {
+			size = adaptSmallSizes[name]
+		}
+		for _, p := range []int{8, 16, 32} {
+			e := adaptEntry{
+				Name:          fmt.Sprintf("%s/%s/P%d", name, variant, p),
+				App:           name,
+				Variant:       variant,
+				Procs:         p,
+				Size:          size,
+				PhaseShifting: name == "phaseflip",
+			}
+			e.ReplayOK = true
+			var warm *cool.AdaptState
+			for rep := 0; rep < reps; rep++ {
+				wall, final, err := adaptCell(app, variant, p, size, warm, &e)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", e.Name, err)
+				}
+				warm = final
+				if rep == 0 || wall < e.WallNS {
+					e.WallNS = wall
+				}
+			}
+			var sum int64
+			for _, c := range e.AdaptiveReps {
+				sum += c
+			}
+			e.CyclesAdaptive = sum / int64(len(e.AdaptiveReps))
+			best := e.CyclesFlat
+			e.BestStatic = "flat"
+			if e.CyclesCluster < best {
+				best = e.CyclesCluster
+				e.BestStatic = "cluster"
+			}
+			e.Ratio = float64(best) / float64(e.CyclesAdaptive)
+			fmt.Printf("%-26s flat=%-9d cluster=%-9d adaptive=%-9d best/adaptive=%.3f decisions=%-3d replay=%v\n",
+				e.Name, e.CyclesFlat, e.CyclesCluster, e.CyclesAdaptive, e.Ratio, e.Decisions, e.ReplayOK)
+			doc.Results = append(doc.Results, e)
+		}
+	}
+	return doc, nil
+}
+
+// adaptCell runs one rep of a cell's three arms and records their
+// (deterministic) cycle counts plus the adaptive arm's decision-replay
+// verdict. The adaptive arm warm-starts from the previous rep's
+// learned policy when one is passed. Returns the rep's summed
+// wall-clock and the policy vector this rep's controller ended on.
+func adaptCell(app apps.App, variant string, procs, size int, warm *cool.AdaptState, e *adaptEntry) (int64, *cool.AdaptState, error) {
+	start := time.Now()
+	flat, err := app.RunCfg(cool.Config{Processors: procs}, variant, size)
+	if err != nil {
+		return 0, nil, fmt.Errorf("flat: %w", err)
+	}
+	clusterCfg := cool.Config{Processors: procs}
+	clusterCfg.Sched.ClusterStealingOnly = true
+	cluster, err := app.RunCfg(clusterCfg, variant, size)
+	if err != nil {
+		return 0, nil, fmt.Errorf("cluster: %w", err)
+	}
+	adaptCfg := cool.Config{
+		Processors: procs,
+		Adapt:      &cool.AdaptPolicy{Epoch: adaptBenchEpoch, Start: warm},
+	}
+	var rt *cool.Runtime
+	restore := cool.CaptureRuntime(func(r *cool.Runtime) { rt = r })
+	adaptive, err := app.RunCfg(adaptCfg, variant, size)
+	restore()
+	if err != nil {
+		return 0, nil, fmt.Errorf("adaptive: %w", err)
+	}
+	e.CyclesFlat = flat.Cycles
+	e.CyclesCluster = cluster.Cycles
+	e.AdaptiveReps = append(e.AdaptiveReps, adaptive.Cycles)
+	e.Decisions += len(adaptive.Report.Decisions)
+	var final *cool.AdaptState
+	replay := false
+	if rt != nil {
+		st, okSt := rt.AdaptState()
+		// Seed the replay from the runtime's actual starting vector, not
+		// the base configuration: variants may force scheduling knobs
+		// (e.g. cluster-only stealing) on top of the passed config, and a
+		// warm start seeds the controller with the previous rep's state.
+		init, okInit := rt.AdaptInitialState()
+		if okSt && okInit {
+			replay = cool.ReplayAdaptDecisions(init, adaptive.Report.Decisions) == st
+			final = &st
+		}
+	}
+	e.ReplayOK = e.ReplayOK && replay
+	return time.Since(start).Nanoseconds(), final, nil
+}
+
+// adaptGate applies the quality gates that do not need a baseline:
+// the 0.95x never-much-worse floor on every cell, at least two
+// phase-shifting cells where the controller beats the best static by
+// 1.1x, and a reconstructible decision trace everywhere.
+func adaptGate(doc *adaptDoc) []string {
+	var msgs []string
+	phaseWins := 0
+	for _, e := range doc.Results {
+		if e.Ratio < 0.95 {
+			msgs = append(msgs, fmt.Sprintf("%s: adaptive is %.3fx the best static arm (floor 0.95)", e.Name, e.Ratio))
+		}
+		if e.PhaseShifting && e.Ratio >= 1.10 {
+			phaseWins++
+		}
+		if !e.ReplayOK {
+			msgs = append(msgs, fmt.Sprintf("%s: decision trace does not replay to the final state", e.Name))
+		}
+	}
+	if phaseWins < 2 {
+		msgs = append(msgs, fmt.Sprintf("only %d phase-shifting cells reach 1.1x over the best static (need 2)", phaseWins))
+	}
+	return msgs
+}
+
+// adaptCheck reruns the baseline's configuration, applies the quality
+// gates, and additionally fails on a >20% regression of the summed
+// wall-clock (same shared-CI noise reasoning as benchCheck).
+func adaptCheck(path string, reps int) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coolbench: %v\n", err)
+		return 1
+	}
+	var base adaptDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "coolbench: %s: %v\n", path, err)
+		return 1
+	}
+	if base.Reps > 0 {
+		reps = base.Reps // the adaptive mean depends on the rep count
+	}
+	doc, err := adaptRun(base.Small, reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coolbench: %v\n", err)
+		return 1
+	}
+	fail := false
+	for _, m := range adaptGate(doc) {
+		fmt.Fprintf(os.Stderr, "coolbench -bench-adapt: %s\n", m)
+		fail = true
+	}
+	byName := make(map[string]adaptEntry, len(base.Results))
+	for _, e := range base.Results {
+		byName[e.Name] = e
+	}
+	var oldWall, newWall int64
+	for _, e := range doc.Results {
+		b, ok := byName[e.Name]
+		if !ok {
+			fmt.Printf("%-26s NEW (no baseline entry)\n", e.Name)
+			continue
+		}
+		oldWall += b.WallNS
+		newWall += e.WallNS
+		if e.CyclesAdaptive != b.CyclesAdaptive {
+			fmt.Printf("%-26s adaptive cycles %d -> %d\n", e.Name, b.CyclesAdaptive, e.CyclesAdaptive)
+		}
+	}
+	if oldWall > 0 {
+		ratio := float64(newWall) / float64(oldWall)
+		fmt.Printf("total wall %s -> %s (x%.3f, gate x1.20)\n",
+			time.Duration(oldWall), time.Duration(newWall), ratio)
+		if ratio > 1.20 {
+			fmt.Fprintf(os.Stderr, "coolbench: wall-clock regression x%.3f exceeds the 20%% gate\n", ratio)
+			fail = true
+		}
+	}
+	if fail {
+		return 1
+	}
+	fmt.Println("bench-adapt: all gates pass")
+	return 0
+}

@@ -88,6 +88,7 @@ var nativeSmallSizes = map[string]int{
 	"blockcho":   128,
 	"barneshut":  256,
 	"gauss":      64,
+	"phaseflip":  80,
 }
 
 // nativeFullSizes override the app-default workloads in the full sweep.

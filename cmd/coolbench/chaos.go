@@ -15,6 +15,8 @@
 //	                                              (goroutine) backend
 //	coolbench -chaos -chaos-native -chaos-churn   add elastic pool churn
 //	                                              (AddWorker/Drain events)
+//	coolbench -chaos -chaos-adapt                 adaptive affinity controller
+//	                                              armed on every faulted run
 package main
 
 import (
@@ -37,6 +39,7 @@ var chaosSmallSizes = map[string]int{
 	"locusroute": 6,
 	"blockcho":   64,
 	"barneshut":  128,
+	"phaseflip":  60,
 }
 
 func chaosMain(args []string) int {
@@ -49,6 +52,7 @@ func chaosMain(args []string) int {
 	small := fs.Bool("chaos-small", false, "use reduced workload sizes (CI smoke)")
 	nativeFlag := fs.Bool("chaos-native", false, "run campaigns on the native goroutine backend (plan times read as nanoseconds)")
 	churn := fs.Bool("chaos-churn", false, "include elastic pool churn (AddWorker/Drain) in generated plans; requires -chaos-native")
+	adapt := fs.Bool("chaos-adapt", false, "arm the adaptive affinity controller on every faulted run (reference stays static)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -87,6 +91,7 @@ func chaosMain(args []string) int {
 				c = chaos.NewCampaign(app, seed, *procs, size)
 				c.Backend = backend
 			}
+			c.Adapt = *adapt
 			out := oracle.Run(app, c)
 			tally[out.Verdict]++
 			if !out.Verdict.Bad() {
@@ -107,6 +112,9 @@ func chaosMain(args []string) int {
 			}
 			if *churn {
 				replayNative += " -chaos-churn"
+			}
+			if *adapt {
+				replayNative += " -chaos-adapt"
 			}
 			fmt.Printf("  replay: coolbench -chaos%s -chaos-apps %s -chaos-seed %d -chaos-campaigns 1 -chaos-procs %d\n",
 				replayNative, app.Name, seed, *procs)

@@ -58,6 +58,11 @@ func main() {
 	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench-serve") {
 		os.Exit(benchServeMain(os.Args[1:]))
 	}
+	// The adaptive-controller A/B benchmark (see bench_adapt.go); also
+	// dispatched ahead of the shared -bench prefix.
+	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench-adapt") {
+		os.Exit(benchAdaptMain(os.Args[1:]))
+	}
 	// The benchmark regression harness has its own flag set (see
 	// bench.go) and short-circuits the experiment machinery.
 	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "-bench") {

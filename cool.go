@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/coolrts/cool/internal/adapt"
 	"github.com/coolrts/cool/internal/cache"
 	"github.com/coolrts/cool/internal/core"
 	"github.com/coolrts/cool/internal/fault"
@@ -177,6 +178,12 @@ type Config struct {
 	// the pool between watermarks each control epoch (see
 	// AutoscalePolicy). Requires MaxProcessors headroom.
 	Autoscale *AutoscalePolicy
+	// Adapt, when non-nil, arms the adaptive-affinity controller on
+	// either backend: each epoch it reads the machine-wide counter
+	// deltas and adjusts cluster-only stealing, wake fanout, steal
+	// backoff, and the shed floor, recording every change as a
+	// decision trace (see AdaptPolicy, Report.Decisions).
+	Adapt *AdaptPolicy
 }
 
 // Runtime is one simulated COOL program execution environment. Allocate
@@ -192,8 +199,11 @@ type Runtime struct {
 	sched   *core.Scheduler // sim backend only
 	nat     *native.Runtime // native backend only
 	mon     *perfmon.Monitor
-	ran     bool
-	tdFree  []*core.TaskDesc // recycled task descriptors (see ctx.go)
+	// adaptCtl is the sim backend's adaptive controller (nil unless
+	// Config.Adapt is set; the native backend owns its own instance).
+	adaptCtl *adapt.Controller
+	ran      bool
+	tdFree   []*core.TaskDesc // recycled task descriptors (see ctx.go)
 
 	// spaceMu guards space on the native backend, where allocation,
 	// migration, and home lookups run concurrently. The simulator is
@@ -276,6 +286,11 @@ func NewRuntime(c Config) (*Runtime, error) {
 	if c.Deadline < 0 {
 		return nil, fmt.Errorf("cool: Config.Deadline must not be negative")
 	}
+	if c.Adapt != nil {
+		if err := c.Adapt.validate(); err != nil {
+			return nil, err
+		}
+	}
 	if err := mc.Validate(); err != nil {
 		return nil, err
 	}
@@ -340,6 +355,9 @@ func (rt *Runtime) initSim() error {
 		if err := rt.applyFaults(c.Faults); err != nil {
 			return err
 		}
+	}
+	if c.Adapt != nil {
+		rt.installAdaptSim(c.Adapt)
 	}
 	return nil
 }
@@ -435,6 +453,11 @@ func newNativeRuntime(c Config, mc machine.Config, pol core.Policy) (*Runtime, e
 			Step:       c.Autoscale.Step,
 		}
 	}
+	var apol *adapt.Policy
+	if c.Adapt != nil {
+		p := c.Adapt.internal(defaultNativeAdaptEpochNS)
+		apol = &p
+	}
 	np := mc.Processors
 	if c.MaxProcessors > np {
 		np = c.MaxProcessors // bounds validated by native.New
@@ -474,6 +497,7 @@ func newNativeRuntime(c Config, mc machine.Config, pol core.Policy) (*Runtime, e
 		MaxProcs:      c.MaxProcessors,
 		Shed:          shed,
 		Autoscale:     auto,
+		Adapt:         apol,
 	})
 	if err != nil {
 		return nil, err

@@ -38,6 +38,7 @@ var catalog = map[string]CatalogEntry{
 	"blockcho":   {App: "blockcho", Variant: "Affinity+Distr", Sizes: map[string]int{"small": 128, "medium": 256, "large": 384}},
 	"barneshut":  {App: "barneshut", Variant: "Affinity+Distr", Sizes: map[string]int{"small": 256, "medium": 1024, "large": 2048}},
 	"gauss":      {App: "gauss", Variant: "Task+Object", Sizes: map[string]int{"small": 48, "medium": 96, "large": 192}},
+	"phaseflip":  {App: "phaseflip", Variant: "Phases", Sizes: map[string]int{"small": 120, "medium": 300, "large": 600}},
 }
 
 // CatalogNames lists the servable job kinds, sorted.

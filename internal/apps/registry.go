@@ -13,6 +13,7 @@ import (
 	"github.com/coolrts/cool/internal/apps/locusroute"
 	"github.com/coolrts/cool/internal/apps/ocean"
 	"github.com/coolrts/cool/internal/apps/pancho"
+	"github.com/coolrts/cool/internal/apps/phaseflip"
 )
 
 // Result is the registry's uniform view of one application run.
@@ -137,7 +138,7 @@ func newApp[V fmt.Stringer, P, R any](s appSpec[V, P, R]) App {
 	return app
 }
 
-var registry = []App{panchoApp(), oceanApp(), locusApp(), blockchoApp(), barneshutApp(), gaussApp()}
+var registry = []App{panchoApp(), oceanApp(), locusApp(), blockchoApp(), barneshutApp(), gaussApp(), phaseflipApp()}
 
 // Names lists registered applications in registration order.
 func Names() []string {
@@ -290,6 +291,29 @@ func barneshutApp() App {
 		runWith:   barneshut.RunWith,
 		runOn:     barneshut.RunOn,
 		runSerial: barneshut.RunSerial,
+		result:    verify,
+		serial:    verify,
+	})
+}
+
+func phaseflipApp() App {
+	verify := func(r phaseflip.Result) Result {
+		return Result{r.Cycles, r.Report, fmt.Sprintf("checksum=%.6g", r.Checksum)}
+	}
+	return newApp(appSpec[phaseflip.Variant, phaseflip.Params, phaseflip.Result]{
+		name:     "phaseflip",
+		variants: phaseflip.Variants,
+		params: func(size int) phaseflip.Params {
+			p := phaseflip.DefaultParams()
+			if size > 0 {
+				p.Steps = size
+				p.Wave = 0 // re-derived from Steps by normalize
+			}
+			return p
+		},
+		runWith:   phaseflip.RunWith,
+		runOn:     phaseflip.RunOn,
+		runSerial: phaseflip.RunSerial,
 		result:    verify,
 		serial:    verify,
 	})

@@ -13,11 +13,12 @@ var tinySizes = map[string]int{
 	"blockcho":   64,  // N (2×2 blocks of 32)
 	"barneshut":  256, // bodies (divisible by 64 groups)
 	"gauss":      32,  // N
+	"phaseflip":  60,  // steps (wave re-derived)
 }
 
 func TestRegistryNamesAndLookup(t *testing.T) {
 	names := Names()
-	if len(names) != 6 {
+	if len(names) != 7 {
 		t.Fatalf("registered apps = %v", names)
 	}
 	for _, n := range names {

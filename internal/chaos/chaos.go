@@ -34,6 +34,7 @@ var taskNames = map[string][]string{
 	"blockcho":   {"potrf", "trsm", "gemm", "notify"},
 	"barneshut":  {"forces", "advance"},
 	"gauss":      {"update"},
+	"phaseflip":  {"chain", "ping", "wave"},
 }
 
 // ignoreTokens lists, per app, Verify tokens whose values legitimately
@@ -70,6 +71,11 @@ type Campaign struct {
 	// pool mid-run; the oracle reserves MaxProcessors headroom for it.
 	// Native backend only.
 	Churn bool
+	// Adapt arms the adaptive affinity controller on the faulted run
+	// (the fault-free reference stays static). The controller may only
+	// reshape the schedule, so every differential invariant must hold
+	// with it flipping policy mid-campaign.
+	Adapt bool
 }
 
 // NewCampaign derives a deterministic campaign from a seed against the
@@ -195,6 +201,9 @@ func (o *Oracle) Run(app apps.App, c Campaign) Outcome {
 		Retry:      c.Retry,
 		Deadline:   c.Deadline,
 		Backend:    c.Backend,
+	}
+	if c.Adapt {
+		cfg.Adapt = &cool.AdaptPolicy{}
 	}
 	if c.Churn && c.Backend == cool.BackendNative {
 		// Reserve one spare slot per AddWorker event so every planned

@@ -73,12 +73,12 @@ type server struct {
 	dead     bool         // processor retired by fault injection
 }
 
-// wakeFanout is the number of idle processors a targeted wakeup notifies.
-// Waking the lowest-numbered parked processors matches the effective
-// winner order of a full broadcast while queues are shallow; once the
-// machine-wide backlog exceeds the fanout, wake falls back to broadcast
-// so every idle processor joins the stealing.
-const wakeFanout = 4
+// defaultWakeFanout is the number of idle processors a targeted wakeup
+// notifies. Waking the lowest-numbered parked processors matches the
+// effective winner order of a full broadcast while queues are shallow;
+// once the machine-wide backlog exceeds the fanout, wake falls back to
+// broadcast so every idle processor joins the stealing.
+const defaultWakeFanout = 4
 
 // Scheduler implements sim.Dispatcher with the paper's policies.
 type Scheduler struct {
@@ -102,6 +102,12 @@ type Scheduler struct {
 	ringFlat    [][]int // all surviving victims
 
 	queuedTotal int // tasks queued machine-wide (sum of sv.queued)
+
+	// wakeFanout is the targeted-wake width (see defaultWakeFanout).
+	// Runtime-mutable: the adaptive controller widens it toward
+	// broadcast under backlog and narrows it back when targeted wakes
+	// suffice. Single-threaded like everything else here.
+	wakeFanout int
 
 	// setSplits counts task-affinity set members enqueued or stolen away
 	// from their set's recorded home. Must stay zero under the default
@@ -127,7 +133,8 @@ func NewScheduler(cfg machine.Config, pol Policy, eng *sim.Engine, space *memsim
 	if pol.QueueArraySize <= 0 {
 		pol.QueueArraySize = 64
 	}
-	s := &Scheduler{Cfg: cfg, Pol: pol, Eng: eng, Space: space, Mon: mon, setHome: make(map[int64]int)}
+	s := &Scheduler{Cfg: cfg, Pol: pol, Eng: eng, Space: space, Mon: mon,
+		setHome: make(map[int64]int), wakeFanout: defaultWakeFanout}
 	s.Srv = make([]*server, cfg.Processors)
 	for i := range s.Srv {
 		sv := &server{id: i, slots: make([]taskQueue, pol.QueueArraySize)}
@@ -387,13 +394,25 @@ func (s *Scheduler) wake(server int, now int64) {
 		return
 	}
 	t := now + s.Cfg.Lat.IdlePoll
-	if s.queuedTotal > wakeFanout {
+	if s.queuedTotal > s.wakeFanout {
 		if s.Eng.NotifyWork(t) > self {
 			s.Mon.Per[server].BroadcastWakes++
 		}
-	} else if s.Eng.NotifyIdle(t, wakeFanout) > self {
+	} else if s.Eng.NotifyIdle(t, s.wakeFanout) > self {
 		s.Mon.Per[server].TargetedWakes++
 	}
+}
+
+// WakeFanout returns the current targeted-wake width.
+func (s *Scheduler) WakeFanout() int { return s.wakeFanout }
+
+// SetWakeFanout changes the targeted-wake width at run time (the
+// adaptive controller's wake knob). Widths below 1 clamp to 1.
+func (s *Scheduler) SetWakeFanout(k int) {
+	if k < 1 {
+		k = 1
+	}
+	s.wakeFanout = k
 }
 
 // Dispatch implements sim.Dispatcher: local queues first (continuations,
@@ -497,11 +516,16 @@ func (s *Scheduler) stealScan(p *sim.Proc, thief *server, ring []int) *TaskDesc 
 		} else {
 			p.Clock += lat.StealRemote
 		}
-		td := s.stealFrom(v, thief, p.ID)
+		td := s.stealFrom(v, thief, p.ID, !local)
 		if td == nil {
 			ctr.FailedSteals++
 			continue
 		}
+		// Tag the task with how it moved: the access path attributes
+		// references of remotely-stolen work separately, which is the
+		// adaptive controller's locality signal. A later local steal
+		// clears the tag — attribution follows the most recent move.
+		td.T.StolenRemote = !local
 		if local {
 			ctr.StealsLocal++
 		} else {
@@ -532,8 +556,9 @@ func (s *Scheduler) victimOrder(thief int) []int {
 
 // stealFrom takes work from victim v for the thief. Preference order:
 // a whole task-affinity set, a plain task, a continuation, and finally a
-// single object-bound task if policy permits.
-func (s *Scheduler) stealFrom(v, thief *server, thiefID int) *TaskDesc {
+// single object-bound task if policy permits. remote tags set members
+// moved wholesale (the caller tags the returned task itself).
+func (s *Scheduler) stealFrom(v, thief *server, thiefID int, remote bool) *TaskDesc {
 	// A whole task-affinity set (ClassTaskSet at the head of some slot).
 	if s.Pol.StealWholeSets {
 		for q := v.nonEmpty.head; q != nil; q = q.nextQ {
@@ -556,6 +581,7 @@ func (s *Scheduler) stealFrom(v, thief *server, thiefID int) *TaskDesc {
 			first := moved[0]
 			for _, td := range moved[1:] {
 				td.Server = thiefID
+				td.T.StolenRemote = remote
 				tq := &thief.slots[td.Slot]
 				tq.push(td)
 				thief.nonEmpty.add(tq)
@@ -650,4 +676,23 @@ func (s *Scheduler) TraceDone(ctx *sim.Ctx) {
 // per-server counts.
 func (s *Scheduler) QueuedTasks() int {
 	return s.queuedTotal
+}
+
+// QueuedClusters returns how many clusters currently have at least one
+// queued task — the adaptive controller's backlog-concentration gauge (a
+// deep backlog pinned in one cluster argues for cross-cluster stealing,
+// not against it). O(P) scan; called once per controller epoch.
+func (s *Scheduler) QueuedClusters() int {
+	seen := make([]bool, s.Cfg.Clusters())
+	n := 0
+	for _, sv := range s.Srv {
+		if sv.queued <= 0 {
+			continue
+		}
+		if cl := s.Cfg.ClusterOf(sv.id); !seen[cl] {
+			seen[cl] = true
+			n++
+		}
+	}
+	return n
 }

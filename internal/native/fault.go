@@ -767,6 +767,11 @@ func (rt *Runtime) timekeeper() {
 	defer rt.tkDone.Done()
 	tick := time.NewTicker(timekeeperTick)
 	defer tick.Stop()
+	if rt.adapt != nil {
+		// First adaptive epoch a full interval from now, not at the
+		// first tick.
+		rt.adapt.nextNS = rt.nowNS() + rt.adapt.pol.Epoch
+	}
 	var lastCompleted int64
 	lastProgress := time.Now()
 	for {
@@ -793,6 +798,9 @@ func (rt *Runtime) timekeeper() {
 		}
 		if rt.shed != nil {
 			rt.shedControl()
+		}
+		if rt.adapt != nil {
+			rt.adaptTick(now)
 		}
 		// Wake workers whose next timed fault event is due: a parked
 		// worker applies its events at the top of its loop.

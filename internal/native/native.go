@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/coolrts/cool/internal/adapt"
 	"github.com/coolrts/cool/internal/core"
 	"github.com/coolrts/cool/internal/fault"
 	"github.com/coolrts/cool/internal/perfmon"
@@ -110,6 +111,13 @@ type Config struct {
 	// and draining the pool per control epoch (see AutoscaleConfig).
 	// Requires MaxProcs.
 	Autoscale *AutoscaleConfig
+
+	// Adapt, when non-nil, arms the adaptive policy controller: each
+	// Epoch nanoseconds the timekeeper feeds the counter mirror to the
+	// pure controller and applies its decisions to the live policy
+	// (cluster-only stealing, wake fanout, steal backoff, shed bias).
+	// A non-positive Epoch defaults to one millisecond.
+	Adapt *adapt.Policy
 }
 
 // TaskFailure reports a panicked task. The embedding runtime converts it
@@ -350,6 +358,12 @@ type Runtime struct {
 	auto     *AutoscaleConfig
 	autoDone sync.WaitGroup
 
+	// Adaptive controller (see adapt.go): mirror is the always-on
+	// machine-wide atomic copy of the slow-path counters; adapt is the
+	// per-run controller harness, nil unless Config.Adapt was set.
+	mirror adaptCounters
+	adapt  *adaptRT
+
 	// deque selects the lock-free scheduler (Chase-Lev deques + inboxes,
 	// the default); false is the mutex-queue A/B baseline.
 	deque bool
@@ -435,11 +449,18 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		rt.auto = &a
 	}
-	rt.armed = cfg.Faults != nil || rt.retry.enabled() || rt.deadlineNS > 0 || rt.noProgressNS > 0 || rt.shed != nil
+	// Policy default first: a warm-started adaptive controller
+	// (initAdapt) overrides it from its Start vector.
+	rt.clusterOnly.Store(pol.ClusterStealingOnly)
+	if cfg.Adapt != nil {
+		rt.initAdapt(*cfg.Adapt)
+	}
+	// The adaptive controller rides the timekeeper, so arming it arms
+	// the monitor goroutine too.
+	rt.armed = cfg.Faults != nil || rt.retry.enabled() || rt.deadlineNS > 0 || rt.noProgressNS > 0 || rt.shed != nil || rt.adapt != nil
 	for i := range rt.shards {
 		rt.shards[i].home = make(map[int64]int)
 	}
-	rt.clusterOnly.Store(pol.ClusterStealingOnly)
 	rt.deque = !cfg.MutexQueue
 	rt.workers = make([]*worker, np)
 	var spareMask uint64
@@ -588,6 +609,9 @@ func (rt *Runtime) TraceEvents() []trace.Event {
 	var all []trace.Event
 	for _, w := range rt.workers {
 		all = append(all, w.events...)
+	}
+	if rt.adapt != nil {
+		all = append(all, rt.adapt.events...)
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
 	if rt.cfg.TraceCapacity > 0 && len(all) > rt.cfg.TraceCapacity {
@@ -769,7 +793,7 @@ func (rt *Runtime) park(w *worker, misses int) {
 	}
 	start := time.Now()
 	if queued {
-		rt.timedPark(w, stallBackoff(misses))
+		rt.timedPark(w, rt.stallBackoffRT(misses))
 	} else {
 		select {
 		case <-w.wake:
@@ -864,10 +888,11 @@ func (rt *Runtime) wakePolicy(ctr *perfmon.Counters) {
 	if mask == 0 {
 		return
 	}
-	broadcast := rt.queuedTotal.Load() > wakeFanout
+	fanout := rt.wakeFanoutNow()
+	broadcast := rt.queuedTotal.Load() > int64(fanout)
 	deposited, attempted := 0, 0
 	for mask != 0 {
-		if !broadcast && attempted >= wakeFanout {
+		if !broadcast && attempted >= fanout {
 			break
 		}
 		i := bits.TrailingZeros64(mask)
@@ -882,8 +907,10 @@ func (rt *Runtime) wakePolicy(ctr *perfmon.Counters) {
 	}
 	if broadcast {
 		ctr.BroadcastWakes++
+		rt.mirror.broadcastWakes.n.Add(1)
 	} else {
 		ctr.TargetedWakes++
+		rt.mirror.targetedWakes.n.Add(1)
 	}
 }
 
@@ -943,6 +970,7 @@ func (rt *Runtime) lockWorkerCtr(w *worker, ctr *perfmon.Counters) {
 		return
 	}
 	ctr.LockContention++
+	rt.mirror.lockContention.n.Add(1)
 	w.mu.Lock()
 }
 
@@ -970,7 +998,7 @@ func (rt *Runtime) placeSet(t *task, obj int64, ctr *perfmon.Counters) int {
 	t.class, t.slot, t.affObj = core.ClassTaskSet, rt.slotOf(obj), obj
 	sh := rt.shardOf(obj)
 	for {
-		sh.lock(ctr)
+		sh.lock(rt, ctr)
 		sv, ok := sh.home[obj]
 		if !ok {
 			if rt.pol.PlaceSetsLeastLoaded {
@@ -1000,11 +1028,12 @@ func (rt *Runtime) placeSet(t *task, obj int64, ctr *perfmon.Counters) int {
 			continue
 		}
 		ctr.LockContention++
+		rt.mirror.lockContention.n.Add(1)
 		sh.mu.Unlock()
 		for {
 			w := rt.workers[sv]
 			rt.lockWorkerCtr(w, ctr)
-			sh.lock(ctr)
+			sh.lock(rt, ctr)
 			dead := rt.dead.Load() != 0 && rt.isDead(sv)
 			if sh.home[obj] == sv && !dead {
 				t.server = sv
@@ -1635,15 +1664,19 @@ func (rt *Runtime) stealScan(w *worker, ring []int) *task {
 			continue
 		}
 		ctr.StealTries++
+		rt.mirror.stealTries.n.Add(1)
 		t := rt.stealFrom(v, w)
 		if t == nil {
 			ctr.FailedSteals++
+			rt.mirror.failedSteals.n.Add(1)
 			continue
 		}
 		if rt.sameCluster(w.id, vid) {
 			ctr.StealsLocal++
+			rt.mirror.stealsLocal.n.Add(1)
 		} else {
 			ctr.StealsRemote++
+			rt.mirror.stealsRemote.n.Add(1)
 		}
 		rt.trace(w, trace.KindSteal, w.id, t.name, int64(vid))
 		return t
@@ -1886,6 +1919,7 @@ func (rt *Runtime) stealSet(v, w *worker) *task {
 		rt.lockWorker(w, w.id)
 	} else if !w.mu.TryLock() {
 		ctr.LockContention++
+		rt.mirror.lockContention.n.Add(1)
 		v.mu.Unlock()
 		rt.lockWorker(w, w.id)
 		rt.lockWorker(v, w.id)
@@ -1898,7 +1932,7 @@ func (rt *Runtime) stealSet(v, w *worker) *task {
 		}
 		obj := head.affObj
 		sh := rt.shardOf(obj)
-		sh.lock(ctr)
+		sh.lock(rt, ctr)
 		// Queued membership at v implies the shard records v as the
 		// set's home (inserts validate under the shard lock, moves
 		// drain the victim before releasing it); assert rather than
@@ -1957,6 +1991,7 @@ func (rt *Runtime) stealSet(v, w *worker) *task {
 		}
 		w.setScratch = moved[:0]
 		ctr.SetSteals++
+		rt.mirror.setSteals.n.Add(1)
 		return first
 	}
 	return nil
@@ -1995,9 +2030,10 @@ func (rt *Runtime) runTask(w *worker, t *task) {
 		rt.prioLive[t.prio].Add(-1)
 	}
 	rt.freeTask(w, t)
-	if rt.armed {
-		rt.completed.Add(1)
-	}
+	// Unconditional (not gated on armed): CounterSnapshot reports it as
+	// Completed on every run, and the live counter on the next line
+	// already pays a shared atomic here.
+	rt.completed.Add(1)
 	if rt.live.Add(-1) == 0 {
 		rt.doneOnce.Do(func() { close(rt.done) })
 	}

@@ -64,6 +64,13 @@ func (rt *Runtime) Reset() error {
 	rt.epoch.Store(0)
 	rt.clusterOnly.Store(rt.pol.ClusterStealingOnly)
 
+	// Adaptive state restarts from scratch: the counter mirror zeroes
+	// and the controller is rebuilt at its initial policy vector.
+	rt.mirror.reset()
+	if rt.adapt != nil {
+		rt.initAdapt(rt.adapt.pol)
+	}
+
 	// Retired workers resurrect; spare slots reserved by MaxProcs go
 	// back to being dead until AddWorkers claims them.
 	var spareMask uint64

@@ -141,6 +141,21 @@ func (e *Engine) MaxClock() int64 {
 	return m
 }
 
+// LiveTasks returns the number of tasks created but not yet finished.
+// The adaptive controller's epoch driver uses it to stop rescheduling
+// itself once the run has drained.
+func (e *Engine) LiveTasks() int { return e.liveTasks }
+
+// ParkedCount returns how many processors are currently idle-parked
+// (a gauge for the adaptive controller's starvation signal).
+func (e *Engine) ParkedCount() int {
+	n := 0
+	for _, w := range e.idleWords {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
 // hasEarlierEvent reports whether an event strictly before time t is
 // pending.
 func (e *Engine) hasEarlierEvent(t int64) bool {

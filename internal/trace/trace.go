@@ -45,6 +45,10 @@ const (
 	// KindPool: pool membership changed on Proc (Task names the change:
 	// "add", "drain", "kill"; Arg = tasks re-homed, 0 for adds).
 	KindPool
+	// KindAdapt: the online controller changed a policy knob (Task
+	// names the knob and action, Arg = the knob's new value; Proc = -1,
+	// the decision is machine-wide).
+	KindAdapt
 )
 
 // String names the kind.
@@ -72,6 +76,8 @@ func (k Kind) String() string {
 		return "shed"
 	case KindPool:
 		return "pool"
+	case KindAdapt:
+		return "adapt"
 	}
 	return "?"
 }

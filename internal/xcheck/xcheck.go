@@ -45,6 +45,7 @@ var smallSizes = map[string]int{
 	"blockcho":   128,
 	"barneshut":  256,
 	"gauss":      64,
+	"phaseflip":  80,
 }
 
 // scheduleTokens lists, per app, Verify tokens whose values legitimately
@@ -251,6 +252,16 @@ func checkCell(app apps.App, variant string, procs, size int) []string {
 		Shed:       &cool.ShedPolicy{QueueHighWater: 1 << 20},
 	}, variant, size)
 	check("native slo-armed", res, err)
+	// An adaptive sim run: the online controller armed with a short
+	// epoch so it decides many times per cell. The controller may only
+	// change the schedule (steal scope, wake fanout), never results, so
+	// every non-schedule token must still match the reference — and the
+	// run is fully deterministic like any other simulator run.
+	res, err = app.RunCfg(cool.Config{
+		Processors: procs,
+		Adapt:      &cool.AdaptPolicy{Epoch: 10_000},
+	}, variant, size)
+	check("sim adaptive", res, err)
 	if err == nil && (res.Report.Total.TasksShed != 0 || res.Report.Total.DeadlineMisses != 0) {
 		msgs = append(msgs, fmt.Sprintf("native slo-armed: shed %d tasks, %d deadline misses on an unloaded run",
 			res.Report.Total.TasksShed, res.Report.Total.DeadlineMisses))

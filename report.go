@@ -106,6 +106,11 @@ type Report struct {
 	// drains, fault kills) in completion order; empty on the simulator
 	// and on healthy fixed-size native runs.
 	PoolEvents []PoolEvent
+	// Decisions is the adaptive controller's decision trace in the
+	// order the policy changes were taken; empty unless Config.Adapt
+	// was set. Folding it over AdaptInitialState with
+	// ReplayAdaptDecisions reconstructs the final policy exactly.
+	Decisions []AdaptDecision
 }
 
 // Utilization returns busy cycles as a fraction of total processor-cycles.
@@ -130,6 +135,7 @@ func (rt *Runtime) Report() Report {
 		SetSplits:     rt.SetSplits(),
 		Per:           make([]Counters, len(rt.mon.Per)),
 		PoolEvents:    rt.PoolEvents(),
+		Decisions:     pubDecisions(rt.adaptDecisions()),
 	}
 	for i := range rt.mon.Per {
 		p := rt.mon.Per[i]
